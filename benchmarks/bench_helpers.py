@@ -1,0 +1,10 @@
+"""Shared benchmark helpers (kept out of conftest so that running tests/
+and benchmarks/ in one pytest session cannot collide on module names)."""
+
+from __future__ import annotations
+
+
+def report(result) -> None:
+    """Print an ExperimentResult table under the benchmark output."""
+    print()
+    print(result.format_table())

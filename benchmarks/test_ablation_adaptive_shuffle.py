@@ -1,0 +1,18 @@
+"""Ablation — adaptive shuffle selection tracks the best fixed scheme.
+
+The adaptive policy (thresholds 10k/90k) should stay within a few percent
+of the per-class best fixed scheme in every shuffle-size class.
+"""
+
+from repro.experiments import adaptive_shuffle_envelope
+
+from bench_helpers import report
+
+
+def test_ablation_adaptive_shuffle(benchmark):
+    result = benchmark.pedantic(
+        adaptive_shuffle_envelope, kwargs={"n_jobs": 6}, rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        assert row["overhead_pct"] < 8.0

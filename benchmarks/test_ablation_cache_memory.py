@@ -1,0 +1,26 @@
+"""Ablation — Cache Worker memory pressure and LRU spill.
+
+Section III-B: memory shortage is rare (<1%) and chunked spills "would not
+hurt performance greatly".  Expectation: generous caches show zero spill
+and flat latency; only severely undersized caches degrade.
+"""
+
+from repro.experiments import cache_memory_ablation
+
+from bench_helpers import report
+
+
+def test_ablation_cache_memory(benchmark):
+    result = benchmark.pedantic(
+        cache_memory_ablation,
+        kwargs={"capacities_gb": (0.2, 0.5, 2.0, 8.0, 48.0)},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    latencies = [row["mean_latency_s"] for row in result.rows]
+    # Latency is non-increasing as the cache grows, and the two generous
+    # configurations are indistinguishable (spill never triggers).
+    assert all(b <= a + 1e-6 for a, b in zip(latencies, latencies[1:]))
+    assert latencies[-1] == latencies[-2]
+    assert latencies[0] > latencies[-1]

@@ -1,0 +1,26 @@
+"""Ablation — failure-rate sweep extending Fig. 15.
+
+Fine-grained recovery should degrade gently as failures become frequent,
+while whole-job restart degrades steeply.
+"""
+
+from repro.experiments import failure_rate_sweep
+
+from bench_helpers import report
+
+
+def test_ablation_failure_rates(benchmark):
+    result = benchmark.pedantic(
+        failure_rate_sweep, kwargs={"n_jobs": 100}, rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        if row["failure_rate"] == 0.0:
+            continue
+        assert row["swift_restart_slowdown_pct"] > row["swift_slowdown_pct"]
+    # At high failure rates restart degrades much faster.  (The gap is
+    # diluted by single-stage jobs, for which re-running the failed task
+    # and restarting the job cost the same.)
+    last = result.rows[-1]
+    assert last["swift_restart_slowdown_pct"] > 1.5 * max(last["swift_slowdown_pct"], 1.0)
+    assert last["swift_restart_slowdown_pct"] - last["swift_slowdown_pct"] > 10.0

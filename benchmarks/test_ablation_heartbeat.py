@@ -1,0 +1,18 @@
+"""Ablation — heartbeat-interval sensitivity of machine-crash recovery.
+
+Section IV-A picks 5/10/15s intervals by cluster scale: longer intervals
+mean later detection and larger slowdowns; very short intervals buy little
+(the re-run itself dominates).
+"""
+
+from repro.experiments import heartbeat_interval_ablation
+
+from bench_helpers import report
+
+
+def test_ablation_heartbeat(benchmark):
+    result = benchmark.pedantic(heartbeat_interval_ablation, rounds=1, iterations=1)
+    report(result)
+    slowdowns = [row["slowdown_pct"] for row in result.rows]
+    assert all(b >= a for a, b in zip(slowdowns, slowdowns[1:]))
+    assert slowdowns[-1] > slowdowns[0] + 10.0

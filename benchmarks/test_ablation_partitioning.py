@@ -1,0 +1,24 @@
+"""Ablation — the unit of scheduling (graphlet vs whole-job vs stage vs
+bubble), everything else held fixed.
+
+Expectation from the paper's arguments: graphlet scheduling matches or
+beats the alternatives on makespan while keeping IdleRatio low; whole-job
+gangs idle the most.
+"""
+
+from repro.experiments import partitioning_ablation
+
+from bench_helpers import report
+
+
+def test_ablation_partitioning(benchmark):
+    result = benchmark.pedantic(
+        partitioning_ablation, kwargs={"n_jobs": 150}, rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row["partitioning"]: row for row in result.rows}
+    swift = rows["graphlet (swift)"]
+    whole = rows["whole job"]
+    assert swift["mean_idle_ratio_pct"] < whole["mean_idle_ratio_pct"]
+    assert swift["makespan_s"] <= whole["makespan_s"] * 1.05
+    assert swift["mean_latency_s"] <= whole["mean_latency_s"]

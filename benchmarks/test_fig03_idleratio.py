@@ -1,0 +1,21 @@
+"""Fig. 3 — IdleRatio of four production clusters under gang scheduling.
+
+Paper: average IdleRatio of 3.81 / 13.15 / 14.45 / 14.92 % for clusters
+#1..#4.  Shape criterion: cluster #1 (shallow jobs) is far below the other
+three, which sit in the low-to-mid teens.
+"""
+
+from repro.experiments import fig3_idle_ratio
+
+from bench_helpers import report
+
+
+def test_fig3_idle_ratio(benchmark):
+    result = benchmark.pedantic(
+        fig3_idle_ratio, kwargs={"n_jobs": 120}, rounds=1, iterations=1
+    )
+    report(result)
+    ratios = [row["idle_ratio_pct"] for row in result.rows]
+    assert ratios[0] < min(ratios[1:])          # shallow cluster wastes least
+    for value in ratios[1:]:
+        assert 5.0 < value < 30.0               # the paper's low-to-mid teens

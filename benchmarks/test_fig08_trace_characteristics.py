@@ -1,0 +1,21 @@
+"""Fig. 8 — characteristics of the production trace.
+
+Paper: average job run time 30s, >90% of jobs within 120s, >80% of jobs
+with <=80 tasks and <=4 stages.
+"""
+
+from repro.experiments import fig8_trace_characteristics
+
+from bench_helpers import report
+
+
+def test_fig8_trace_characteristics(benchmark):
+    result = benchmark.pedantic(
+        fig8_trace_characteristics, kwargs={"n_jobs": 1000}, rounds=1, iterations=1
+    )
+    report(result)
+    by_metric = {row["metric"]: row["measured"] for row in result.rows}
+    assert 15.0 <= by_metric["avg_runtime_s"] <= 45.0
+    assert by_metric["frac_runtime_le_120s"] >= 0.88
+    assert by_metric["frac_tasks_le_80"] >= 0.80
+    assert by_metric["frac_stages_le_4"] >= 0.80

@@ -1,0 +1,18 @@
+"""Fig. 9(a) — TPC-H (1 TB), Swift vs Spark per query.
+
+Paper: total speedup of 2.11x over tuned Spark SQL 2.4.6.  Shape criteria:
+Swift wins every query, and the total speedup lands near 2x.
+"""
+
+from repro.experiments import fig9a_tpch
+
+from bench_helpers import report
+
+
+def test_fig9a_tpch(benchmark):
+    result = benchmark.pedantic(fig9a_tpch, rounds=1, iterations=1)
+    report(result)
+    per_query = [row for row in result.rows if row["query"] != "TOTAL"]
+    total = next(row for row in result.rows if row["query"] == "TOTAL")
+    assert all(row["speedup"] > 1.0 for row in per_query)
+    assert 1.7 <= total["speedup"] <= 3.2       # paper: 2.11x

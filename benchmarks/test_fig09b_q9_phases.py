@@ -1,0 +1,22 @@
+"""Fig. 9(b) — 4-phase breakdown of TPC-H Q9's critical stages.
+
+Paper: Spark spends >71s launching critical tasks and 137.8s/133.9s on disk
+shuffle write/read, while Swift's in-network shuffle reads take 8.92s and
+writes 9.61s.  Shape criteria: Swift launch ~0 vs multi-second Spark
+launches; Spark shuffle I/O dominates Swift's by a large factor.
+"""
+
+from repro.experiments import fig9b_q9_phases
+
+from bench_helpers import report
+
+
+def test_fig9b_q9_phases(benchmark):
+    result = benchmark.pedantic(fig9b_q9_phases, rounds=1, iterations=1)
+    report(result)
+    spark_launch_total = sum(row["spark_L"] for row in result.rows)
+    swift_launch_total = sum(row["swift_L"] for row in result.rows)
+    assert spark_launch_total > 10 * swift_launch_total
+    spark_shuffle = sum(row["spark_SR"] + row["spark_SW"] for row in result.rows)
+    swift_shuffle = sum(row["swift_SR"] + row["swift_SW"] for row in result.rows)
+    assert spark_shuffle > 3 * swift_shuffle

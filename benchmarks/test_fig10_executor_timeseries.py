@@ -1,0 +1,25 @@
+"""Fig. 10 — running-executor counts replaying the trace on 100 nodes.
+
+Paper: Swift and Bubble keep executors busy and finish in 240s and 296s;
+JetScope fluctuates (head-of-line blocked gangs) and takes 2.44x longer
+than Swift.  Shape criteria: makespan(swift) < makespan(bubble) <
+makespan(jetscope), with a clear JetScope gap.
+"""
+
+from repro.experiments import fig10_executor_timeseries, fig10_makespans
+
+from bench_helpers import report
+
+
+def test_fig10_executor_timeseries(benchmark):
+    result = benchmark.pedantic(
+        fig10_executor_timeseries, kwargs={"n_jobs": 400}, rounds=1, iterations=1
+    )
+    spans = fig10_makespans(n_jobs=400)
+    print(f"\nmakespans: {spans}")
+    print(f"speedup over jetscope: swift {spans['jetscope'] / spans['swift']:.2f}x "
+          f"(paper 2.44x), bubble {spans['jetscope'] / spans['bubble']:.2f}x "
+          f"(paper 1.98x)")
+    report(result)
+    assert spans["swift"] < spans["bubble"] < spans["jetscope"]
+    assert spans["jetscope"] / spans["swift"] > 1.25

@@ -1,0 +1,22 @@
+"""Fig. 11 — normalized job latency CDF vs Swift.
+
+Paper: more than 60% of JetScope jobs run at >=2x Swift's latency; Bubble
+Execution tracks Swift much more closely.  Shape criteria: JetScope's
+median normalized latency exceeds Bubble's, and JetScope has a heavy >=2x
+tail while Bubble's is light.
+"""
+
+from repro.experiments import fig11_latency_cdf
+
+from bench_helpers import report
+
+
+def test_fig11_latency_cdf(benchmark):
+    result = benchmark.pedantic(
+        fig11_latency_cdf, kwargs={"n_jobs": 400}, rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row["system"]: row for row in result.rows}
+    assert rows["jetscope"]["median_ratio"] > rows["bubble"]["median_ratio"]
+    assert rows["jetscope"]["frac_ge_2x"] > rows["bubble"]["frac_ge_2x"]
+    assert rows["jetscope"]["frac_ge_2x"] > 0.15

@@ -1,0 +1,30 @@
+"""Fig. 12 — shuffle-scheme ablation by shuffle-edge-size class.
+
+Paper (normalized to Direct=1 per class): small -> Direct best (Local 1.04,
+Remote 1.03); medium -> Remote best (Direct 1.25, Local 1.038); large ->
+Local best (Direct 2.083, Remote 1.479).  Shape criterion: the best scheme
+per class matches, i.e. the crossovers fall at the 10k/90k thresholds.
+"""
+
+from repro.experiments import fig12_shuffle_ablation
+
+from bench_helpers import report
+
+
+def test_fig12_shuffle_ablation(benchmark):
+    result = benchmark.pedantic(
+        fig12_shuffle_ablation, kwargs={"n_jobs": 8}, rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row["shuffle_class"]: row for row in result.rows}
+    # Best scheme per class matches the paper.
+    small = rows["small"]
+    assert small["direct"] <= small["local"] + 1e-9
+    assert small["direct"] <= small["remote"] + 0.02
+    medium = rows["medium"]
+    assert medium["remote"] <= medium["local"]
+    assert medium["remote"] < medium["direct"]
+    assert medium["direct"] / medium["remote"] > 1.10   # paper: +25%
+    large = rows["large"]
+    assert large["local"] < large["remote"] < large["direct"]
+    assert large["direct"] / large["local"] > 1.6       # paper: +108%

@@ -1,0 +1,15 @@
+"""Fig. 13 — the TPC-H Q13 job structure.
+
+The built DAG must carry the exact task counts the paper reports per stage.
+"""
+
+from repro.experiments import fig13_q13_details
+
+from bench_helpers import report
+
+
+def test_fig13_q13_details(benchmark):
+    result = benchmark.pedantic(fig13_q13_details, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        assert row["built_tasks"] == row["paper_tasks"]

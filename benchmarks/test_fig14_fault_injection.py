@@ -1,0 +1,26 @@
+"""Fig. 14 — single-failure injection into TPC-H Q13.
+
+Paper: failures injected at normalized times 20/40/60/80/100 into stages
+M2/J3/R4/R5/R6.  Swift's fine-grained recovery slows the job by <10% in
+every case (zero at t=20 because M2's output was already received); job
+restart pays roughly the injection time again.
+"""
+
+from repro.experiments import fig14_fault_injection
+
+from bench_helpers import report
+
+
+def test_fig14_fault_injection(benchmark):
+    result = benchmark.pedantic(fig14_fault_injection, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        assert row["swift_slowdown_pct"] < 12.0
+        assert row["restart_slowdown_pct"] > row["inject_at"] - 10
+    by_stage = {row["stage"]: row for row in result.rows}
+    # M2's output was already consumed at t=20: no slowdown at all.
+    assert by_stage["M2"]["swift_slowdown_pct"] < 1.0
+    # J3 (critical path, large input) is the expensive recovery.
+    assert by_stage["J3"]["swift_slowdown_pct"] == max(
+        row["swift_slowdown_pct"] for row in result.rows
+    )

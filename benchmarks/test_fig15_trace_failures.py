@@ -1,0 +1,23 @@
+"""Fig. 15 — trace replay with trace-calibrated failures.
+
+Paper: whole-job restart slows jobs by 45% on average; Swift's fine-grained
+recovery by only 5%.  Shape criterion: restart's average slowdown is many
+times Swift's.
+"""
+
+from repro.experiments import fig15_trace_failures
+
+from bench_helpers import report
+
+
+def test_fig15_trace_failures(benchmark):
+    result = benchmark.pedantic(
+        fig15_trace_failures, kwargs={"n_jobs": 200}, rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row["policy"]: row for row in result.rows}
+    swift = rows["swift"]["mean_slowdown_pct"]
+    restart = rows["swift_restart"]["mean_slowdown_pct"]
+    assert restart > 3 * max(swift, 1.0)
+    assert swift < 18.0
+    assert 25.0 < restart < 80.0          # paper: ~45%

@@ -1,0 +1,26 @@
+"""Fig. 16 — strong scaling from 10,000 to 140,000 executors.
+
+Paper: near-linear speedup across the whole range (the measured curve sits
+slightly below the ideal line at 140k).  Shape criteria: speedup grows
+monotonically and reaches a large fraction of ideal at every point.
+"""
+
+from repro.experiments import fig16_scalability
+
+from bench_helpers import report
+
+
+def test_fig16_scalability(benchmark):
+    result = benchmark.pedantic(
+        fig16_scalability,
+        kwargs={"executor_counts": (10_000, 20_000, 40_000, 80_000, 140_000)},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    speedups = [row["speedup"] for row in result.rows]
+    ideals = [row["ideal"] for row in result.rows]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    for speedup, ideal in zip(speedups, ideals):
+        assert speedup >= 0.6 * ideal        # near-linear
+        assert speedup <= ideal * 1.05       # and never super-linear

@@ -1,0 +1,42 @@
+"""Microbenchmarks of the substrate itself (not a paper figure).
+
+These keep the simulator honest: the paper-scale experiments replay
+hundreds of thousands of task events, so event throughput and end-to-end
+job simulation rate are tracked here with real multi-round statistics.
+"""
+
+from repro.core.policies import swift_policy
+from repro.core.runtime import SwiftRuntime
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.workloads import terasort
+
+
+def test_event_engine_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 97) / 10, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 10_000
+
+
+def test_terasort_simulation_rate(benchmark):
+    def run_job():
+        runtime = SwiftRuntime(Cluster.build(20, 16), swift_policy())
+        return runtime.execute(terasort.terasort_job(100, 100))
+
+    result = benchmark.pedantic(run_job, rounds=3, iterations=1)
+    assert result.completed
+
+
+def test_partitioning_rate(benchmark):
+    from repro.core.partition import partition_job
+    from repro.workloads import tpch
+
+    dag = tpch.query_dag(9)
+    graph = benchmark(partition_job, dag)
+    assert len(graph) == 4

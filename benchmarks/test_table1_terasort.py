@@ -1,0 +1,24 @@
+"""Table I — Terasort, Spark vs Swift across job sizes.
+
+Paper: speedups of 3.07 / 3.96 / 7.06 / 14.18 for 250^2 .. 1500^2; Spark
+time shoots up past 1000^2 while Swift grows only slightly.
+"""
+
+from repro.experiments import table1_terasort
+
+from bench_helpers import report
+
+
+def test_table1_terasort(benchmark):
+    result = benchmark.pedantic(table1_terasort, rounds=1, iterations=1)
+    report(result)
+    speedups = [row["speedup"] for row in result.rows]
+    swift_times = [row["swift_s"] for row in result.rows]
+    spark_times = [row["spark_s"] for row in result.rows]
+    # Speedup grows monotonically with job size into the double digits.
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[0] > 2.0
+    assert speedups[-1] > 8.0
+    # Swift only grows slightly; Spark shoots up.
+    assert swift_times[-1] < swift_times[0] * 1.5
+    assert spark_times[-1] > spark_times[0] * 3.0

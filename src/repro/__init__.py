@@ -1,0 +1,83 @@
+"""repro — a reproduction of *Swift: Reliable and Low-Latency Data
+Processing at Cloud Scale* (ICDE 2021).
+
+Public API quick tour::
+
+    from repro import (
+        Cluster, SimConfig, swift_policy, SwiftRuntime, Job,
+    )
+    from repro.workloads import tpch
+
+    cluster = Cluster.build(n_machines=100, executors_per_machine=32)
+    runtime = SwiftRuntime(cluster, swift_policy())
+    result = runtime.execute(Job(dag=tpch.query_dag(9)))
+    print(result.metrics.run_time)
+
+Sub-packages:
+
+* :mod:`repro.sim` — discrete-event cluster simulator (the substrate).
+* :mod:`repro.core` — the paper's contribution: graphlet partitioning,
+  fine-grained scheduling, adaptive in-network shuffle, failure recovery.
+* :mod:`repro.sql` — the SQL-like front end (Fig. 1) and a row-level
+  executor for the examples.
+* :mod:`repro.workloads` — TPC-H, Terasort, and trace-calibrated workloads.
+* :mod:`repro.baselines` — Spark, JetScope, and Bubble Execution models.
+* :mod:`repro.experiments` — harnesses regenerating every table/figure.
+"""
+
+from .core import (
+    Edge,
+    EdgeMode,
+    ExecutionPolicy,
+    FailureRecovery,
+    Job,
+    JobDAG,
+    JobMetrics,
+    JobResult,
+    LaunchModel,
+    Operator,
+    OperatorKind,
+    ShuffleScheme,
+    Stage,
+    SubmissionOrder,
+    SwiftPartitioner,
+    SwiftRuntime,
+    swift_policy,
+)
+from .sim import (
+    Cluster,
+    FailureKind,
+    FailurePlan,
+    FailureSpec,
+    SimConfig,
+    Simulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Edge",
+    "EdgeMode",
+    "ExecutionPolicy",
+    "FailureKind",
+    "FailurePlan",
+    "FailureRecovery",
+    "FailureSpec",
+    "Job",
+    "JobDAG",
+    "JobMetrics",
+    "JobResult",
+    "LaunchModel",
+    "Operator",
+    "OperatorKind",
+    "ShuffleScheme",
+    "SimConfig",
+    "Simulator",
+    "Stage",
+    "SubmissionOrder",
+    "SwiftPartitioner",
+    "SwiftRuntime",
+    "swift_policy",
+    "__version__",
+]

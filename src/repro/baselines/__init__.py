@@ -1,0 +1,13 @@
+"""Baseline system models: Spark, JetScope, Bubble Execution, job restart.
+
+Every baseline is an :class:`~repro.core.policies.ExecutionPolicy` over the
+same simulator, so comparisons against Swift isolate exactly the design
+choices the paper attributes the differences to.
+"""
+
+from .bubble import bubble_policy
+from .jetscope import jetscope_policy
+from .restart import restart_policy
+from .spark import spark_policy
+
+__all__ = ["bubble_policy", "jetscope_policy", "restart_policy", "spark_policy"]

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the available experiment runners.
+``experiment <key> [...]``
+    Run one or more experiments by key and print their tables.
+``report [--quick] [--output PATH]``
+    Run everything and write the EXPERIMENTS.md document.
+``sql [--query TEXT | --file PATH] [--scale N] [--execute]``
+    Compile a Swift-language query to a job DAG, show the plan and the
+    graphlet partitioning, simulate it, and optionally execute it row-level
+    on a generated mini TPC-H database (``--execute``).
+``replay [--jobs N]``
+    Replay a trace against Swift, Bubble Execution, and JetScope.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .core import partition_job, swift_policy
+from .experiments import harness, reporting
+from .experiments import ablations, figures
+
+
+def _experiment_registry() -> dict[str, Callable[[], object]]:
+    return {
+        "fig3": lambda: figures.fig3_idle_ratio(n_jobs=100),
+        "fig8": lambda: figures.fig8_trace_characteristics(n_jobs=800),
+        "fig9a": figures.fig9a_tpch,
+        "fig9b": figures.fig9b_q9_phases,
+        "table1": figures.table1_terasort,
+        "fig10": lambda: figures.fig10_executor_timeseries(n_jobs=300),
+        "fig11": lambda: figures.fig11_latency_cdf(n_jobs=300),
+        "fig12": lambda: figures.fig12_shuffle_ablation(n_jobs=6),
+        "fig13": figures.fig13_q13_details,
+        "fig14": figures.fig14_fault_injection,
+        "fig15": lambda: figures.fig15_trace_failures(n_jobs=150),
+        "fig16": lambda: figures.fig16_scalability(n_jobs=1500),
+        "ablation-partitioning": lambda: ablations.partitioning_ablation(n_jobs=120),
+        "ablation-adaptive": lambda: figures.adaptive_shuffle_envelope(n_jobs=5),
+        "ablation-heartbeat": ablations.heartbeat_interval_ablation,
+        "ablation-cache": ablations.cache_memory_ablation,
+        "ablation-submission": ablations.submission_order_ablation,
+        "ablation-failure-rate": lambda: ablations.failure_rate_sweep(n_jobs=100),
+    }
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for key in _experiment_registry():
+        print(key)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    unknown = [key for key in args.keys if key not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    for key in args.keys:
+        result = registry[key]()
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.format_table())
+            _maybe_plot(result)
+        print()
+    return 0
+
+
+def _maybe_plot(result) -> None:
+    """Render an ASCII chart for results with a natural plot shape."""
+    from .experiments.plots import xy_plot
+
+    if not result.rows:
+        return
+    keys = set(result.rows[0].keys())
+    if {"executors", "speedup", "ideal"} <= keys:
+        xs = [float(row["executors"]) for row in result.rows]
+        print()
+        print(xy_plot(
+            xs,
+            {"ideal": [float(r["ideal"]) for r in result.rows],
+             "measured": [float(r["speedup"]) for r in result.rows]},
+        ))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = reporting.build_report(quick=args.quick, echo=lambda m: print(m, file=sys.stderr))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from .core.dag import Job
+    from .core.runtime import SwiftRuntime
+    from .sim.cluster import Cluster
+    from .sql import (
+        FIG1_QUERY,
+        compile_sql,
+        explain,
+        generate_database,
+        parse,
+        plan_statement,
+        run_query,
+    )
+
+    if args.file:
+        with open(args.file) as handle:
+            query = handle.read()
+    else:
+        query = args.query or FIG1_QUERY
+
+    statement = parse(query)
+    print("=== logical plan ===")
+    print(explain(plan_statement(statement)))
+    dag = compile_sql(query, scale_factor=args.scale, job_id="cli_sql")
+    print("\n=== job DAG ===")
+    for stage in dag:
+        operators = " -> ".join(str(op) for op in stage.operators)
+        print(f"  {stage.name:<4} x{stage.task_count:<5} [{operators}]")
+    graph = partition_job(dag)
+    print(f"\n=== graphlets ({len(graph)}) ===")
+    for graphlet in graph.graphlets:
+        print(f"  {graphlet.graphlet_id}: {graphlet.stage_names}")
+    runtime = SwiftRuntime(Cluster.build(args.machines, 32), swift_policy())
+    result = runtime.execute(Job(dag=dag))
+    print(f"\nsimulated run time: {result.metrics.run_time:.2f}s "
+          f"({len(result.metrics.tasks)} tasks)")
+    if args.execute:
+        rows = run_query(query, generate_database())
+        print(f"\n=== row results ({len(rows)} rows, first 10) ===")
+        for row in rows[:10]:
+            print(f"  {row}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .baselines import bubble_policy, jetscope_policy
+    from .workloads import TraceConfig, generate_trace
+
+    jobs = generate_trace(TraceConfig(n_jobs=args.jobs, mean_interarrival=0.08))
+    print(f"replaying {args.jobs} jobs "
+          f"({sum(j.dag.total_tasks() for j in jobs)} tasks) on 100 nodes")
+    spans = {}
+    for policy in (swift_policy(), bubble_policy(), jetscope_policy()):
+        results, _ = harness.run_jobs(policy, jobs)
+        spans[policy.name] = harness.makespan(results)
+        print(f"  {policy.name:<10} makespan={spans[policy.name]:7.1f}s "
+              f"mean latency={harness.mean_latency(results):6.1f}s")
+    for name in ("swift", "bubble"):
+        print(f"  {name} speedup over jetscope: "
+              f"{spans['jetscope'] / spans[name]:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Swift (ICDE 2021) reproduction: experiments and tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    p_exp = sub.add_parser("experiment", help="run experiments by key")
+    p_exp.add_argument("keys", nargs="+", help="experiment keys (see `list`)")
+    p_exp.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("--quick", action="store_true", help="reduced workload sizes")
+    p_rep.add_argument("--output", help="write to a file instead of stdout")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_sql = sub.add_parser("sql", help="compile/run a Swift-language query")
+    p_sql.add_argument("--query", help="query text (default: the paper's Fig. 1)")
+    p_sql.add_argument("--file", help="read the query from a file")
+    p_sql.add_argument("--scale", type=float, default=1000.0,
+                       help="TPC-H scale factor for planning (default 1000 = 1 TB)")
+    p_sql.add_argument("--machines", type=int, default=100)
+    p_sql.add_argument("--execute", action="store_true",
+                       help="also execute row-level on a mini database")
+    p_sql.set_defaults(func=_cmd_sql)
+
+    p_replay = sub.add_parser("replay", help="trace replay vs baselines")
+    p_replay.add_argument("--jobs", type=int, default=250)
+    p_replay.set_defaults(func=_cmd_replay)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

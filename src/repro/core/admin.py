@@ -1,0 +1,124 @@
+"""Swift Admin: the event-driven controller model.
+
+The Admin is modelled as a serialized resource: every controller operation
+(plan generation, dispatch bookkeeping, status handling) occupies it for
+``AdminConfig.event_processing_time`` seconds.  Dispatch batches therefore
+fan out with a small per-task stagger, and at very large scale the
+controller becomes the (mild) bottleneck — which is what bends the Fig. 16
+scalability curve slightly below ideal.
+
+The heartbeat machinery (per-machine heartbeat manager proxies, interval by
+cluster scale) and the machine health monitor of Section IV-A live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import AdminConfig
+from .failure import MachineHealthMonitor
+
+
+@dataclass
+class AdminStats:
+    """Counters reported by the controller."""
+
+    events_processed: int = 0
+    plans_dispatched: int = 0
+    heartbeats_received: int = 0
+    status_reports: int = 0
+    machines_marked_read_only: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+
+
+class SwiftAdmin:
+    """Controller-side cost and health model."""
+
+    def __init__(self, config: AdminConfig, n_machines: int) -> None:
+        config.validate()
+        self.config = config
+        self.n_machines = n_machines
+        self.heartbeat_interval = config.heartbeat_interval(n_machines)
+        self.health = MachineHealthMonitor(admin=config)
+        self.stats = AdminStats()
+        #: Time until which the serialized event-processing thread is busy.
+        self._busy_until = 0.0
+        #: (job_id, stage) plans already generated (the Plan Handler cache).
+        self._plan_cache: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Serialized controller work
+    # ------------------------------------------------------------------
+    def admit_ops(self, now: float, n_ops: int) -> float:
+        """Account for ``n_ops`` controller operations starting at ``now``.
+
+        Returns the time at which the *first* of those operations completes;
+        subsequent operations complete every ``event_processing_time``
+        after it.  Callers stagger per-task dispatches accordingly.
+        """
+        if n_ops < 0:
+            raise ValueError("n_ops must be non-negative")
+        start = max(now, self._busy_until)
+        self._busy_until = start + n_ops * self.config.event_processing_time
+        self.stats.events_processed += n_ops
+        return start + self.config.event_processing_time if n_ops else start
+
+    def dispatch_times(self, now: float, n_tasks: int) -> list[float]:
+        """Plan-arrival times for a gang of ``n_tasks`` dispatched at ``now``.
+
+        Each plan costs one controller op (generate + send), then travels
+        ``dispatch_latency`` to the executor.
+        """
+        if n_tasks < 0:
+            raise ValueError("n_tasks must be non-negative")
+        if n_tasks == 0:
+            return []
+        first = self.admit_ops(now, n_tasks)
+        ept = self.config.event_processing_time
+        latency = self.config.dispatch_latency
+        self.stats.plans_dispatched += n_tasks
+        return [first + i * ept + latency for i in range(n_tasks)]
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of queued controller work (for introspection/tests)."""
+        return self._busy_until
+
+    # ------------------------------------------------------------------
+    # Plan cache (Section II-B: "All plans are cached in the Plan Handler
+    # of Executor Manager").  Re-dispatching a cached plan — as failure
+    # recovery does — skips the plan-generation controller op.
+    # ------------------------------------------------------------------
+    def plan_cached(self, job_id: str, stage: str) -> bool:
+        """Record a plan lookup; True when the plan was already generated."""
+        key = (job_id, stage)
+        if key in self._plan_cache:
+            self.stats.plan_cache_hits += 1
+            return True
+        self._plan_cache.add(key)
+        self.stats.plan_cache_misses += 1
+        return False
+
+    def drop_job_plans(self, job_id: str) -> None:
+        """Evict a finished or restarted job's cached plans."""
+        self._plan_cache = {k for k in self._plan_cache if k[0] != job_id}
+
+    # ------------------------------------------------------------------
+    # Health handling
+    # ------------------------------------------------------------------
+    def record_status_report(self) -> None:
+        """Count one executor status report arriving at the Admin."""
+        self.stats.status_reports += 1
+
+    def record_heartbeat(self) -> None:
+        """Count one heartbeat-manager ping arriving at the Admin."""
+        self.stats.heartbeats_received += 1
+
+    def record_task_failure(self, machine_id: int, now: float) -> bool:
+        """Feed the health monitor; returns True when the machine should be
+        quarantined (marked read-only)."""
+        flagged = self.health.record_failure(machine_id, now)
+        if flagged:
+            self.stats.machines_marked_read_only += 1
+        return flagged

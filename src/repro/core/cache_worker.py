@@ -1,0 +1,175 @@
+"""Cache Worker: per-machine in-memory shuffle store with LRU spill.
+
+One Cache Worker runs on each machine (Section II-B).  Local and Remote
+Shuffle write shuffle data into it; data is deleted "to release memory after
+they have been consumed by all successor tasks".  Under memory shortage
+(< 1% of the time in production) the LRU policy swaps old data to disk in
+large chunks (Section III-B, "Memory Management of the Cache Worker").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..sim.config import CacheWorkerConfig
+from ..sim.disk import DiskModel
+
+
+@dataclass
+class CacheEntry:
+    """Bytes held for one (job, edge) pair on one machine."""
+
+    key: tuple[str, str]
+    bytes_in_memory: float
+    bytes_on_disk: float = 0.0
+    #: Remaining consumer tasks that must read before release.
+    pending_consumers: int = 0
+    last_touch: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes held for this entry across memory and disk."""
+        return self.bytes_in_memory + self.bytes_on_disk
+
+
+class CacheWorkerFullError(RuntimeError):
+    """Raised when data cannot fit even after spilling everything eligible."""
+
+
+class CacheWorker:
+    """Memory manager for one machine's shuffle cache."""
+
+    def __init__(self, machine_id: int, config: CacheWorkerConfig, disk: DiskModel) -> None:
+        config.validate()
+        self.machine_id = machine_id
+        self.config = config
+        self.disk = disk
+        self._entries: "OrderedDict[tuple[str, str], CacheEntry]" = OrderedDict()
+        self.bytes_in_memory = 0.0
+        self.bytes_spilled_total = 0.0
+        self.spill_events = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def memory_used(self) -> float:
+        """Bytes of shuffle data currently resident in memory."""
+        return self.bytes_in_memory
+
+    @property
+    def memory_free(self) -> float:
+        """Remaining in-memory capacity in bytes."""
+        return self.config.memory_capacity - self.bytes_in_memory
+
+    def entry(self, job_id: str, edge_key: str) -> CacheEntry | None:
+        """Look up the entry for one (job, edge) pair, if present."""
+        return self._entries.get((job_id, edge_key))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Write / read / release
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        job_id: str,
+        edge_key: str,
+        n_bytes: float,
+        pending_consumers: int,
+        now: float,
+    ) -> float:
+        """Store ``n_bytes`` of shuffle data; returns extra delay from spill.
+
+        If the write does not fit, least-recently-used entries are spilled
+        to disk in large chunks until it does; the spill time is returned so
+        the caller can extend the writing task's shuffle-write phase.
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if pending_consumers < 0:
+            raise ValueError("pending_consumers must be non-negative")
+        spill_delay = self._ensure_capacity(n_bytes)
+        key = (job_id, edge_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = CacheEntry(key=key, bytes_in_memory=0.0)
+            self._entries[key] = entry
+        if n_bytes > self.config.memory_capacity:
+            # Oversized writes streamed straight through disk stay there.
+            entry.bytes_on_disk += n_bytes
+        else:
+            entry.bytes_in_memory += n_bytes
+            self.bytes_in_memory += n_bytes
+        entry.pending_consumers = max(entry.pending_consumers, pending_consumers)
+        entry.last_touch = now
+        self._entries.move_to_end(key)
+        return spill_delay
+
+    def _ensure_capacity(self, n_bytes: float) -> float:
+        """Spill LRU entries until ``n_bytes`` fits; return spill seconds."""
+        if n_bytes > self.config.memory_capacity:
+            # A single write larger than RAM streams straight through disk.
+            self.bytes_spilled_total += n_bytes
+            self.spill_events += 1
+            return self.disk.spill_time(n_bytes)
+        spill_delay = 0.0
+        for key in list(self._entries):
+            if self.memory_free >= n_bytes:
+                break
+            entry = self._entries[key]
+            if entry.bytes_in_memory <= 0:
+                continue
+            spilled = entry.bytes_in_memory
+            spill_delay += self.disk.spill_time(spilled)
+            entry.bytes_on_disk += spilled
+            self.bytes_in_memory -= spilled
+            entry.bytes_in_memory = 0.0
+            self.bytes_spilled_total += spilled
+            self.spill_events += 1
+        if self.memory_free < n_bytes:
+            raise CacheWorkerFullError(
+                f"cache worker {self.machine_id} cannot fit {n_bytes} bytes"
+            )
+        return spill_delay
+
+    def read(self, job_id: str, edge_key: str, now: float) -> float:
+        """Read one consumer's share; returns extra delay if data was spilled."""
+        key = (job_id, edge_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            return 0.0
+        entry.last_touch = now
+        self._entries.move_to_end(key)
+        if entry.bytes_on_disk <= 0 or entry.pending_consumers <= 0:
+            return 0.0
+        # Each pending consumer reads back its share of the spilled bytes.
+        share = entry.bytes_on_disk / entry.pending_consumers
+        return self.disk.spill_time(share)
+
+    def consume(self, job_id: str, edge_key: str) -> bool:
+        """Mark one consumer finished; release the entry at zero.  Returns
+        True when the entry was released."""
+        key = (job_id, edge_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        entry.pending_consumers = max(0, entry.pending_consumers - 1)
+        if entry.pending_consumers == 0:
+            self._release(key)
+            return True
+        return False
+
+    def release_job(self, job_id: str) -> None:
+        """Drop all entries of a job (job completion or restart)."""
+        for key in [k for k in self._entries if k[0] == job_id]:
+            self._release(key)
+
+    def _release(self, key: tuple[str, str]) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.bytes_in_memory -= entry.bytes_in_memory
+            if self.bytes_in_memory < 1e-6:
+                self.bytes_in_memory = 0.0

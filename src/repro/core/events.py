@@ -1,0 +1,91 @@
+"""Structured runtime event log.
+
+The Swift Admin works in an event-driven manner (Section II-C); this module
+gives the runtime an inspectable audit trail of those events — job
+admission, graphlet submission, resource grants, stage/unit/job completion,
+failures, and recoveries.  Tests and debugging tools consume it; the
+overhead is a single append per event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class EventKind(enum.Enum):
+    """Controller-level event types recorded in the audit trail."""
+    JOB_SUBMITTED = "job_submitted"
+    UNIT_REQUESTED = "unit_requested"
+    UNIT_GRANTED = "unit_granted"
+    STAGE_COMPLETED = "stage_completed"
+    UNIT_COMPLETED = "unit_completed"
+    JOB_COMPLETED = "job_completed"
+    JOB_FAILED = "job_failed"
+    JOB_RESTARTED = "job_restarted"
+    FAILURE_INJECTED = "failure_injected"
+    TASK_RECOVERED = "task_recovered"
+    MACHINE_QUARANTINED = "machine_quarantined"
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One entry in the audit trail."""
+
+    time: float
+    kind: EventKind
+    job_id: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:10.3f}] {self.kind.value:<18} {self.job_id}{suffix}"
+
+
+@dataclass
+class EventLog:
+    """Append-only event log with query helpers.
+
+    ``capacity`` bounds memory for long replays; older events are dropped
+    from the front once exceeded (0 means unbounded).
+    """
+
+    capacity: int = 0
+    events: list[RuntimeEvent] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(
+        self, time: float, kind: EventKind, job_id: str, detail: str = ""
+    ) -> None:
+        """Append one event, trimming the front past ``capacity``."""
+        self.events.append(RuntimeEvent(time, kind, job_id, detail))
+        if self.capacity and len(self.events) > self.capacity:
+            overflow = len(self.events) - self.capacity
+            del self.events[:overflow]
+            self.dropped += overflow
+
+    def of_kind(self, kind: EventKind) -> list[RuntimeEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def for_job(self, job_id: str) -> list[RuntimeEvent]:
+        """All events of one job, in order."""
+        return [e for e in self.events if e.job_id == job_id]
+
+    def first(self, kind: EventKind, job_id: Optional[str] = None) -> Optional[RuntimeEvent]:
+        """The earliest event of ``kind`` (optionally for one job)."""
+        for event in self.events:
+            if event.kind == kind and (job_id is None or event.job_id == job_id):
+                return event
+        return None
+
+    def __iter__(self) -> Iterator[RuntimeEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def format_tail(self, n: int = 20) -> str:
+        """Render the last ``n`` events, one per line."""
+        return "\n".join(str(e) for e in self.events[-n:])

@@ -1,0 +1,198 @@
+"""Failure classification, detection latency, and recovery planning.
+
+Section IV distinguishes, by where the failed task sits relative to its
+graphlet, three recovery cases — intra-graphlet (with idempotent and
+non-idempotent sub-cases), input failure, output failure — plus the
+"useless recovery" class of application-logic errors that are reported
+rather than retried.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..sim.config import AdminConfig
+from ..sim.failures import FailureKind
+from .dag import JobDAG
+from .graphlet import GraphletGraph
+
+
+class RecoveryCase(enum.Enum):
+    """Where a failed task sits relative to its graphlet (Section IV-B)."""
+    #: Failed task, predecessors and successors all in one graphlet.
+    INTRA_GRAPHLET = "intra_graphlet"
+    #: Predecessors in a different graphlet (Fig. 7(a)): re-fetch from their
+    #: Cache Workers, no producer notification needed.
+    INPUT_FAILURE = "input_failure"
+    #: Successors in a different graphlet (Fig. 7(b)): just rewrite to the
+    #: local Cache Worker, no consumer channel updates needed.
+    OUTPUT_FAILURE = "output_failure"
+    #: Both predecessors and successors cross graphlet boundaries.
+    INPUT_AND_OUTPUT = "input_and_output"
+    #: Application-logic error: report, do not retry (Section IV-C).
+    USELESS = "useless"
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """What to re-run and what to merely re-send for one failure."""
+
+    case: RecoveryCase
+    #: Stage names whose affected tasks must re-run ("" when none).
+    rerun_stages: tuple[str, ...] = ()
+    #: Predecessor stages that must re-send cached shuffle data (cheap;
+    #: idempotent-recovery path within a graphlet).
+    resend_from: tuple[str, ...] = ()
+    #: True when the failure needs no action at all (idempotent task whose
+    #: output was already fully received by every successor).
+    noop: bool = False
+
+
+def classify_failure(
+    dag: JobDAG,
+    graphlets: GraphletGraph,
+    stage_name: str,
+    kind: FailureKind = FailureKind.TASK_CRASH,
+) -> RecoveryCase:
+    """Determine the recovery case for a failure in ``stage_name``."""
+    if kind == FailureKind.APPLICATION_ERROR:
+        return RecoveryCase.USELESS
+    own = graphlets.stage_to_graphlet[stage_name]
+    preds_cross = any(
+        graphlets.stage_to_graphlet[p] != own for p in dag.predecessors(stage_name)
+    )
+    succs_cross = any(
+        graphlets.stage_to_graphlet[s] != own for s in dag.successors(stage_name)
+    )
+    if preds_cross and succs_cross:
+        return RecoveryCase.INPUT_AND_OUTPUT
+    if preds_cross:
+        return RecoveryCase.INPUT_FAILURE
+    if succs_cross:
+        return RecoveryCase.OUTPUT_FAILURE
+    return RecoveryCase.INTRA_GRAPHLET
+
+
+def executed_successor_closure(
+    dag: JobDAG,
+    graphlets: GraphletGraph,
+    stage_name: str,
+    has_executed: "dict[str, bool] | None" = None,
+) -> list[str]:
+    """Same-graphlet successors (transitively) that must re-run when a
+    non-idempotent task fails (Section IV-B1(b)).
+
+    ``has_executed`` maps stage name -> whether any of its tasks have run;
+    unexecuted successors need no recovery.  ``None`` means assume all
+    executed (worst case).
+    """
+    own = graphlets.stage_to_graphlet[stage_name]
+    closure: list[str] = []
+    seen = {stage_name}
+    frontier = [stage_name]
+    while frontier:
+        current = frontier.pop()
+        for succ in dag.successors(current):
+            if succ in seen:
+                continue
+            if graphlets.stage_to_graphlet[succ] != own:
+                continue
+            seen.add(succ)
+            if has_executed is not None and not has_executed.get(succ, False):
+                continue
+            closure.append(succ)
+            frontier.append(succ)
+    return closure
+
+
+def plan_recovery(
+    dag: JobDAG,
+    graphlets: GraphletGraph,
+    stage_name: str,
+    kind: FailureKind = FailureKind.TASK_CRASH,
+    task_finished: bool = False,
+    output_fully_consumed: bool = False,
+    has_executed: "dict[str, bool] | None" = None,
+) -> RecoveryDecision:
+    """Build the full recovery decision for one failed task.
+
+    Mirrors Section IV-B: idempotent finished tasks whose output every
+    successor already received need nothing; otherwise the task re-runs.
+    Same-graphlet predecessors re-send cached data (they never re-run);
+    cross-graphlet predecessors need no action because the re-launched task
+    pulls from their Cache Workers.  Non-idempotent tasks additionally drag
+    their executed same-graphlet successors into the re-run set.
+    """
+    case = classify_failure(dag, graphlets, stage_name, kind)
+    if case == RecoveryCase.USELESS:
+        return RecoveryDecision(case=case, noop=False)
+    stage = dag.stage(stage_name)
+    if task_finished and stage.idempotent and output_fully_consumed:
+        return RecoveryDecision(case=case, noop=True)
+
+    rerun = [stage_name]
+    if not stage.idempotent:
+        rerun.extend(
+            executed_successor_closure(dag, graphlets, stage_name, has_executed)
+        )
+
+    own = graphlets.stage_to_graphlet[stage_name]
+    resend = tuple(
+        p
+        for p in dag.predecessors(stage_name)
+        if graphlets.stage_to_graphlet[p] == own
+        # Pipeline predecessors push; barrier (cross-unit) data sits in
+        # Cache Workers and needs no re-send.
+    )
+    return RecoveryDecision(case=case, rerun_stages=tuple(rerun), resend_from=resend)
+
+
+def detection_delay(
+    kind: FailureKind,
+    admin: AdminConfig,
+    n_machines: int,
+    heartbeat_phase: float = 0.5,
+) -> float:
+    """Seconds from failure to Admin awareness.
+
+    Process-level failures self-report quickly (Section IV-A's lazy/passive
+    tracking); machine crashes are caught by the next heartbeat, i.e. after
+    ``heartbeat_phase`` of the interval on average.
+    """
+    if kind in (FailureKind.TASK_CRASH, FailureKind.PROCESS_RESTART, FailureKind.APPLICATION_ERROR):
+        return admin.self_report_latency
+    if kind == FailureKind.MACHINE_CRASH:
+        if not 0 <= heartbeat_phase <= 1:
+            raise ValueError("heartbeat_phase must be in [0, 1]")
+        return admin.heartbeat_interval(n_machines) * heartbeat_phase
+    raise ValueError(f"unknown failure kind {kind}")
+
+
+@dataclass
+class MachineHealthMonitor:
+    """Tracks per-machine task failures; flags unhealthy machines read-only.
+
+    Section IV-A: "When a machine is found unhealthy (e.g., a large quantity
+    of tasks on the machine failed in a short time), Swift Admin will mark
+    it as read-only and stop scheduling new tasks to it."
+    """
+
+    admin: AdminConfig
+    _failures: dict[int, list[float]] = field(default_factory=dict)
+    read_only: set[int] = field(default_factory=set)
+
+    def record_failure(self, machine_id: int, now: float) -> bool:
+        """Record one failure; returns True when the machine just became
+        read-only."""
+        history = self._failures.setdefault(machine_id, [])
+        history.append(now)
+        cutoff = now - self.admin.unhealthy_window
+        history[:] = [t for t in history if t >= cutoff]
+        if (
+            machine_id not in self.read_only
+            and len(history) >= self.admin.unhealthy_task_failures
+        ):
+            self.read_only.add(machine_id)
+            return True
+        return False

@@ -1,0 +1,137 @@
+"""Graphlets and the graphlet dependency graph.
+
+A graphlet is a sub-graph of a job DAG whose internal edges are all pipeline
+edges (Section III-A1).  Graphlets are the unit of gang scheduling, of
+failure recovery, and of Cache-Worker-mediated barrier shuffles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dag import Edge, EdgeMode, JobDAG
+
+
+@dataclass
+class Graphlet:
+    """One scheduling unit: a set of pipeline-connected stages."""
+
+    graphlet_id: int
+    stage_names: list[str]
+    #: The stage from which the partitioning scan started (Fig. 4's
+    #: "Trigger Stage").
+    trigger_stage: str
+
+    def __contains__(self, stage_name: str) -> bool:
+        return stage_name in self._stage_set
+
+    @property
+    def _stage_set(self) -> frozenset[str]:
+        return frozenset(self.stage_names)
+
+    def task_count(self, dag: JobDAG) -> int:
+        """Total tasks across this graphlet's stages."""
+        return sum(dag.stage(name).task_count for name in self.stage_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Graphlet {self.graphlet_id}: {self.stage_names} trigger={self.trigger_stage}>"
+
+
+@dataclass
+class GraphletGraph:
+    """The graphlets of a job plus their barrier-edge dependencies."""
+
+    dag: JobDAG
+    graphlets: list[Graphlet]
+    #: graphlet_id -> set of graphlet_ids it depends on (barrier producers).
+    dependencies: dict[int, set[int]] = field(default_factory=dict)
+    #: Stage name -> graphlet_id.
+    stage_to_graphlet: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.stage_to_graphlet:
+            for graphlet in self.graphlets:
+                for name in graphlet.stage_names:
+                    self.stage_to_graphlet[name] = graphlet.graphlet_id
+        self._validate_coverage()
+        if not self.dependencies:
+            self.dependencies = {g.graphlet_id: set() for g in self.graphlets}
+            for edge in self.dag.edges:
+                src_g = self.stage_to_graphlet[edge.src]
+                dst_g = self.stage_to_graphlet[edge.dst]
+                if src_g != dst_g:
+                    self.dependencies[dst_g].add(src_g)
+
+    def _validate_coverage(self) -> None:
+        covered = set(self.stage_to_graphlet)
+        missing = set(self.dag.stages) - covered
+        if missing:
+            raise ValueError(f"stages not assigned to any graphlet: {sorted(missing)}")
+        extra = covered - set(self.dag.stages)
+        if extra:
+            raise ValueError(f"graphlets reference unknown stages: {sorted(extra)}")
+
+    def has_internal_barriers(self) -> bool:
+        """True when some graphlet contains a barrier edge internally.
+
+        Swift's partitioner never produces such graphlets; the whole-job
+        (JetScope) baseline does, and its tasks idle across those edges —
+        that idling is the resource waste Fig. 3 quantifies.
+        """
+        for edge in self.dag.edges:
+            same_unit = self.stage_to_graphlet[edge.src] == self.stage_to_graphlet[edge.dst]
+            if same_unit and self.dag.edge_mode(edge) == EdgeMode.BARRIER:
+                return True
+        return False
+
+    def graphlet(self, graphlet_id: int) -> Graphlet:
+        """The graphlet with ``graphlet_id`` (KeyError if absent)."""
+        for graphlet in self.graphlets:
+            if graphlet.graphlet_id == graphlet_id:
+                return graphlet
+        raise KeyError(graphlet_id)
+
+    def graphlet_of(self, stage_name: str) -> Graphlet:
+        """The graphlet containing ``stage_name``."""
+        return self.graphlet(self.stage_to_graphlet[stage_name])
+
+    def cross_edges(self) -> list[Edge]:
+        """Edges whose endpoints live in different graphlets."""
+        return [
+            edge
+            for edge in self.dag.edges
+            if self.stage_to_graphlet[edge.src] != self.stage_to_graphlet[edge.dst]
+        ]
+
+    def internal_edges(self, graphlet_id: int) -> list[Edge]:
+        """Edges with both endpoints inside one graphlet."""
+        return [
+            edge
+            for edge in self.dag.edges
+            if self.stage_to_graphlet[edge.src] == graphlet_id
+            and self.stage_to_graphlet[edge.dst] == graphlet_id
+        ]
+
+    def submission_order(self) -> list[int]:
+        """Topological order over graphlets (Kahn; deterministic by id)."""
+        indegree = {gid: len(deps) for gid, deps in self.dependencies.items()}
+        dependents: dict[int, list[int]] = {gid: [] for gid in self.dependencies}
+        for gid, deps in self.dependencies.items():
+            for dep in deps:
+                dependents[dep].append(gid)
+        ready = sorted(gid for gid, deg in indegree.items() if deg == 0)
+        order: list[int] = []
+        while ready:
+            gid = ready.pop(0)
+            order.append(gid)
+            for successor in sorted(dependents[gid]):
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+        if len(order) != len(self.dependencies):
+            raise ValueError("graphlet dependency graph contains a cycle")
+        return order
+
+    def __len__(self) -> int:
+        return len(self.graphlets)

@@ -1,0 +1,81 @@
+"""Physical operators and the barrier/pipeline classification.
+
+Section III-A1: an edge is a *barrier* edge when the data crossing it is
+produced by a global SORT operation (``StreamedAggregate``, ``MergeJoin``,
+``Window``, ``SortBy``, ``MergeSort``) — such an operator cannot emit its
+first output row before consuming all of its input, so the producing stage's
+output cannot be streamlined into the successor stage.  All other edges are
+*pipeline* edges.
+
+In Fig. 4, stages J4, J6 and J10 contain ``MergeSort``; consequently the
+edges J4->J6, J6->J10 and J10->R11 are barriers while every edge out of the
+non-sorting stages M1..M8 is a pipeline edge.  The classification therefore
+keys on the *producer* stage's operators, which is what
+:func:`stage_is_blocking` implements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OperatorKind(enum.Enum):
+    """Physical operator vocabulary (the paper's Fig. 4(b) plus SQL basics)."""
+
+    TABLE_SCAN = "TableScan"
+    FILTER = "Filter"
+    PROJECT = "Project"
+    HASH_JOIN = "HashJoin"
+    MERGE_JOIN = "MergeJoin"
+    HASH_AGGREGATE = "HashAggregate"
+    STREAMED_AGGREGATE = "StreamedAggregate"
+    WINDOW = "Window"
+    SORT_BY = "SortBy"
+    MERGE_SORT = "MergeSort"
+    LIMIT = "Limit"
+    SHUFFLE_READ = "ShuffleRead"
+    SHUFFLE_WRITE = "ShuffleWrite"
+    STREAMLINE_WRITE = "StreamlineWrite"
+    ADHOC_SINK = "AdhocSink"
+    UNION = "Union"
+
+
+#: Operators that perform a global sort (or are otherwise fully blocking):
+#: their stage cannot stream output, so outgoing edges become barriers.
+BLOCKING_OPERATORS = frozenset(
+    {
+        OperatorKind.STREAMED_AGGREGATE,
+        OperatorKind.MERGE_JOIN,
+        OperatorKind.WINDOW,
+        OperatorKind.SORT_BY,
+        OperatorKind.MERGE_SORT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One physical operator instance inside a stage."""
+
+    kind: OperatorKind
+    #: Optional human-readable detail ("on l_suppkey", "sum(amount)").
+    detail: str = ""
+
+    @property
+    def is_blocking(self) -> bool:
+        """True for global-sort operators that cannot stream output."""
+        return self.kind in BLOCKING_OPERATORS
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.detail})" if self.detail else self.kind.value
+
+
+def ops(*kinds: OperatorKind) -> tuple[Operator, ...]:
+    """Convenience constructor: ``ops(TABLE_SCAN, FILTER)``."""
+    return tuple(Operator(kind) for kind in kinds)
+
+
+def stage_is_blocking(operators: tuple[Operator, ...]) -> bool:
+    """True when a stage contains any global-sort (blocking) operator."""
+    return any(op.is_blocking for op in operators)

@@ -1,0 +1,1117 @@
+"""The execution runtime: jobs in, per-task timings out.
+
+This module ties the substrate (event engine, cluster, network/disk models)
+to the paper's mechanisms (graphlet partitioning, gang scheduling, adaptive
+shuffle, Cache Workers, fine-grained recovery).  The same runtime executes
+Swift and every baseline; an :class:`~repro.core.policies.ExecutionPolicy`
+selects the behaviour.
+
+Execution model
+---------------
+Tasks move through the four phases of Section V-C1 — launch, shuffle read,
+record processing, shuffle write.  Within a gang-scheduled unit, stages
+connected by pipeline edges stream: a consumer's completion is bounded below
+by its producers' completion plus a flush latency, and its ``data_arrive``
+(for the IdleRatio metric) is its producers' first output.  Barrier inputs —
+and *all* cross-unit inputs — become available only when the producer stage
+completes.  Task finish times are computed analytically per stage and
+realised as simulator events that self-reschedule if recovery pushes a
+finish time back, which keeps failure handling simple and exact.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.cluster import Cluster, Executor
+from ..sim.config import SimConfig
+from ..sim.engine import Simulator
+from ..sim.failures import FailureKind, FailurePlan, FailureSpec
+from .admin import SwiftAdmin
+from .cache_worker import CacheWorker
+from .dag import Edge, EdgeMode, Job, JobDAG
+from .events import EventKind, EventLog
+from .failure import detection_delay, plan_recovery
+from .graphlet import GraphletGraph
+from .metrics import JobMetrics, TaskTiming
+from .policies import ExecutionPolicy, FailureRecovery, LaunchModel, SubmissionOrder
+from .scheduler import Grant, ReqItem, ResourceScheduler, pick_locality_machines
+from .shadow import ShadowController
+from .shuffle import ShuffleCostModel, ShuffleScheme, resolve_scheme
+
+_EPS = 1e-9
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of one task instance."""
+    PENDING = "pending"
+    DISPATCHED = "dispatched"
+    FINISHED = "finished"
+    DEAD = "dead"
+
+
+class UnitState(enum.Enum):
+    """Lifecycle of one schedulable unit (graphlet)."""
+    PENDING = "pending"
+    REQUESTED = "requested"
+    GRANTED = "granted"
+    DONE = "done"
+
+
+@dataclass
+class TaskInstance:
+    """One logical task; attempts mutate it in place (see module docs)."""
+
+    stage_run: "StageRun"
+    index: int
+    attempt: int = 0
+    state: TaskState = TaskState.PENDING
+    executor: Optional[Executor] = None
+    plan_arrive: float = math.inf
+    data_arrive: float = math.inf
+    start: float = math.inf
+    finish_time: float = math.inf
+    launch: float = 0.0
+    read: float = 0.0
+    proc: float = 0.0
+    write: float = 0.0
+    event_scheduled: bool = False
+
+
+class StageRun:
+    """Execution state of one stage of one job attempt."""
+
+    def __init__(self, job_run: "JobRun", stage_name: str, unit_id: int) -> None:
+        self.job_run = job_run
+        self.stage = job_run.dag.stage(stage_name)
+        self.unit_id = unit_id
+        self.instances = [
+            TaskInstance(stage_run=self, index=i) for i in range(self.stage.task_count)
+        ]
+        self.prepared = False
+        self.computed = False
+        self.completed = False
+        self.n_dispatched = 0
+        self.n_computed = 0
+        self.n_finalized = 0
+        # Stage-level timing constants (filled by _prepare_stage).
+        self.barrier_avail = 0.0
+        self.pipeline_floor = 0.0
+        self.pipeline_first_input = 0.0
+        self.scan_read = 0.0
+        self.read_cost = 0.0
+        self.write_cost = 0.0
+        self.has_inputs = False
+        self.registered_connections = 0
+        # Estimates maintained as instances compute/finalize.
+        self.finish_estimate = 0.0
+        self.first_output = math.inf
+        self.earliest_read_done = math.inf
+
+    @property
+    def name(self) -> str:
+        """The stage name."""
+        return self.stage.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StageRun {self.job_run.job.job_id}/{self.name} "
+            f"{self.n_finalized}/{len(self.instances)}>"
+        )
+
+
+class UnitRun:
+    """Execution state of one schedulable unit (graphlet)."""
+
+    def __init__(self, job_run: "JobRun", graphlet_id: int, stage_names: list[str]) -> None:
+        self.job_run = job_run
+        self.graphlet_id = graphlet_id
+        # Keep unit stages in DAG topological order for deterministic compute.
+        topo_index = {name: i for i, name in enumerate(job_run.dag.topo_order())}
+        self.stage_names = sorted(stage_names, key=lambda n: topo_index[n])
+        self.state = UnitState.PENDING
+        self.request: Optional[ReqItem] = None
+
+    def stage_runs(self) -> list[StageRun]:
+        """This unit's stage runs, in topological order."""
+        return [self.job_run.stage_runs[name] for name in self.stage_names]
+
+    def task_count(self) -> int:
+        """Executors the unit's gang needs."""
+        return sum(sr.stage.task_count for sr in self.stage_runs())
+
+    def all_completed(self) -> bool:
+        """True when every stage of the unit has completed."""
+        return all(sr.completed for sr in self.stage_runs())
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job execution."""
+
+    job_id: str
+    policy_name: str
+    metrics: JobMetrics
+    completed: bool = True
+    failed: bool = False
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency from submission to completion."""
+        return self.metrics.latency
+
+
+class JobRun:
+    """All runtime state for one attempt of one job."""
+
+    def __init__(
+        self,
+        job: Job,
+        graphlets: GraphletGraph,
+        metrics: JobMetrics,
+        attempt: int = 0,
+    ) -> None:
+        self.job = job
+        self.dag: JobDAG = job.dag
+        self.graphlets = graphlets
+        self.metrics = metrics
+        self.attempt = attempt
+        self.aborted = False
+        self.failed = False
+        self.done = False
+        self.stage_runs: dict[str, StageRun] = {}
+        self.units: dict[int, UnitRun] = {}
+        for graphlet in graphlets.graphlets:
+            unit = UnitRun(self, graphlet.graphlet_id, list(graphlet.stage_names))
+            self.units[graphlet.graphlet_id] = unit
+            for name in graphlet.stage_names:
+                self.stage_runs[name] = StageRun(self, name, graphlet.graphlet_id)
+
+    def unit_of_stage(self, stage_name: str) -> UnitRun:
+        """The unit run containing ``stage_name``."""
+        return self.units[self.stage_runs[stage_name].unit_id]
+
+
+class SchedulingImpossibleError(RuntimeError):
+    """A gang request can never be satisfied on this cluster."""
+
+
+class SwiftRuntime:
+    """Event-driven executor of jobs under a policy on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: ExecutionPolicy,
+        config: Optional[SimConfig] = None,
+        failure_plan: Optional[FailurePlan] = None,
+        reference_duration: "float | dict[str, float]" = 100.0,
+        shadow: Optional[ShadowController] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        #: Admin failover windows (Section II-B's shadow controller).
+        self.shadow = shadow or ShadowController()
+        self.config = config or cluster.config
+        self.sim = Simulator(seed=self.config.seed)
+        self.admin = SwiftAdmin(self.config.admin, cluster.n_machines)
+        self.scheduler = ResourceScheduler(cluster)
+        self.shuffle_model = ShuffleCostModel(self.config, cluster.network, cluster.disk)
+        self.failure_plan = failure_plan or FailurePlan()
+        #: Non-failure job duration used to resolve ``at_fraction`` failures;
+        #: either one global value or a per-job mapping (as Fig. 15 needs,
+        #: where failures strike at a fraction of each job's own runtime).
+        self.reference_duration = reference_duration
+        self.job_runs: dict[str, JobRun] = {}
+        self.results: list[JobResult] = []
+        #: Audit trail of controller-level events (bounded for long replays).
+        self.events = EventLog(capacity=200_000)
+        #: Extra data-availability delay per (job_id, edge key) caused by
+        #: Cache Worker LRU spills on the producer side.
+        self._edge_extra_delay: dict[tuple[str, str], float] = {}
+        #: Machines whose Cache Workers hold data for a (job_id, edge key).
+        self._edge_cw_machines: dict[tuple[str, str], list[int]] = {}
+        #: All machines with Cache Worker state per job (for fast release).
+        self._job_cw_machines: dict[str, set[int]] = {}
+        #: (start, end) executor-busy intervals for utilization series.
+        self.busy_intervals: list[tuple[float, float]] = []
+        self._request_units: dict[int, UnitRun] = {}
+        for machine in cluster.machines:
+            if machine.cache_worker is None:
+                machine.cache_worker = CacheWorker(
+                    machine.machine_id, self.config.cache_worker, cluster.disk
+                )
+        if not policy.gang:
+            # Wave execution is only meaningful for single-stage units.
+            pass
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Queue a job for execution at its ``submit_time``."""
+        self.sim.schedule_at(job.submit_time, self._on_job_submitted, job, 0)
+
+    def submit_all(self, jobs: list[Job]) -> None:
+        """Queue a batch of jobs at their respective submit times."""
+        for job in jobs:
+            self.submit(job)
+
+    def run(self, until: Optional[float] = None) -> list[JobResult]:
+        """Run the simulation to completion and return per-job results."""
+        self.sim.run(until=until)
+        return self.results
+
+    def execute(self, job: Job) -> JobResult:
+        """Convenience: submit one job, run, return its result."""
+        self.submit(job)
+        self.run()
+        for result in self.results:
+            if result.job_id == job.job_id:
+                return result
+        raise RuntimeError(f"job {job.job_id} did not complete")
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def _on_job_submitted(self, job: Job, attempt: int) -> None:
+        graphlets = self.policy.partitioner.partition(job.dag)
+        if not self.policy.gang:
+            for graphlet in graphlets.graphlets:
+                if len(graphlet.stage_names) != 1:
+                    raise SchedulingImpossibleError(
+                        "wave (non-gang) execution requires single-stage units"
+                    )
+        # Partitioning and job admission cost controller time.
+        self.admin.admit_ops(self.sim.now, len(job.dag) + 1)
+        self.events.record(
+            self.sim.now,
+            EventKind.JOB_RESTARTED if attempt else EventKind.JOB_SUBMITTED,
+            job.job_id,
+            f"{len(graphlets)} graphlets",
+        )
+        if attempt == 0:
+            metrics = JobMetrics(job_id=job.job_id, submit_time=self.sim.now)
+            self.job_runs[job.job_id] = JobRun(job, graphlets, metrics, attempt)
+            self._schedule_failures(job)
+        else:
+            old = self.job_runs[job.job_id]
+            self.job_runs[job.job_id] = JobRun(job, graphlets, old.metrics, attempt)
+        self._try_submit_units(self.job_runs[job.job_id])
+
+    def _job_reference(self, job_id: str) -> float:
+        if isinstance(self.reference_duration, dict):
+            return self.reference_duration.get(job_id, 100.0)
+        return self.reference_duration
+
+    def _schedule_failures(self, job: Job) -> None:
+        reference = self._job_reference(job.job_id)
+        for spec in self.failure_plan.for_job(job.job_id):
+            at = job.submit_time + spec.resolve_time(reference)
+            self.sim.schedule_at(max(at, self.sim.now), self._on_failure, spec, job.job_id)
+
+    def _unit_inputs_ready(self, unit: UnitRun) -> bool:
+        """All cross-unit edges into the unit have completed producers."""
+        job_run = unit.job_run
+        for name in unit.stage_names:
+            for edge in job_run.dag.in_edges(name):
+                producer_sr = job_run.stage_runs[edge.src]
+                if producer_sr.unit_id != unit.graphlet_id and not producer_sr.completed:
+                    return False
+        return True
+
+    def _unit_inputs_started(self, unit: UnitRun) -> bool:
+        """All cross-unit producers are at least running (eager submission:
+        Bubble Execution acquires executors "long before the input data
+        arrive" — while producers execute — not at job admission)."""
+        job_run = unit.job_run
+        for name in unit.stage_names:
+            for edge in job_run.dag.in_edges(name):
+                producer_sr = job_run.stage_runs[edge.src]
+                if producer_sr.unit_id == unit.graphlet_id:
+                    continue
+                producer_unit = job_run.units[producer_sr.unit_id]
+                if producer_unit.state not in (UnitState.GRANTED, UnitState.DONE):
+                    return False
+        return True
+
+    def _try_submit_units(self, job_run: JobRun) -> None:
+        if job_run.aborted or job_run.failed:
+            return
+        for unit in job_run.units.values():
+            if unit.state != UnitState.PENDING:
+                continue
+            if self.policy.submission == SubmissionOrder.CONSERVATIVE:
+                if not self._unit_inputs_ready(unit):
+                    continue
+            elif not self._unit_inputs_started(unit):
+                continue
+            n = unit.task_count()
+            if self.policy.gang and n > self.cluster.total_executors():
+                raise SchedulingImpossibleError(
+                    f"unit {unit.graphlet_id} of {job_run.job.job_id} needs {n} "
+                    f"executors; cluster has {self.cluster.total_executors()}"
+                )
+            locality: tuple[int, ...] = ()
+            if any(
+                job_run.dag.stage(name).scan_bytes_per_task > 0
+                for name in unit.stage_names
+            ):
+                locality = pick_locality_machines(self.cluster, n)
+            item = self.scheduler.request(
+                job_id=job_run.job.job_id,
+                unit_id=unit.graphlet_id,
+                n_executors=n,
+                locality=locality,
+                priority=job_run.job.priority,
+                now=self.sim.now,
+                gang=self.policy.gang,
+            )
+            unit.request = item
+            unit.state = UnitState.REQUESTED
+            self._request_units[item.request_id] = unit
+            self.events.record(
+                self.sim.now, EventKind.UNIT_REQUESTED, job_run.job.job_id,
+                f"unit {unit.graphlet_id} ({n} executors)",
+            )
+        self._pump_scheduler()
+
+    def _pump_scheduler(self) -> None:
+        for grant in self.scheduler.schedule():
+            unit = self._request_units.get(grant.request.request_id)
+            if unit is None:
+                for executor in grant.executors:
+                    executor.release()
+                continue
+            self._on_unit_granted(unit, grant)
+
+    # ------------------------------------------------------------------
+    # Dispatch and timing computation
+    # ------------------------------------------------------------------
+    def _on_unit_granted(self, unit: UnitRun, grant: Grant) -> None:
+        job_run = unit.job_run
+        if job_run.aborted or job_run.failed:
+            for executor in grant.executors:
+                executor.release()
+            return
+        unit.state = UnitState.GRANTED
+        self.events.record(
+            self.sim.now, EventKind.UNIT_GRANTED, job_run.job.job_id,
+            f"unit {unit.graphlet_id} ({len(grant.executors)} executors)",
+        )
+        if self.policy.submission == SubmissionOrder.EAGER:
+            # Downstream bubbles become submittable once this one runs.
+            self._try_submit_units(job_run)
+        pending = [
+            inst
+            for sr in unit.stage_runs()
+            for inst in sr.instances
+            if inst.state == TaskState.PENDING and inst.executor is None
+        ]
+        batch = pending[: len(grant.executors)]
+        # During an Admin failover the shadow controller must finish taking
+        # over before any new plan can be generated and dispatched.
+        dispatch_from = self.shadow.next_available(self.sim.now)
+        self.shadow.record_completion(self.sim.now)
+        times = self.admin.dispatch_times(dispatch_from, len(batch))
+        rng = self.sim.rng
+        metrics = job_run.metrics
+        for inst, executor, arrive in zip(batch, grant.executors, times):
+            executor.current_task = inst
+            executor.start()
+            inst.executor = executor
+            inst.state = TaskState.DISPATCHED
+            inst.plan_arrive = arrive
+            inst.launch = self._launch_overhead(rng)
+            inst.stage_run.n_dispatched += 1
+            self.admin.plan_cached(job_run.job.job_id, inst.stage_run.name)
+            if metrics.start_time == 0.0 or arrive < metrics.start_time:
+                metrics.start_time = arrive
+        self._try_compute_stages(unit)
+
+    def _launch_overhead(self, rng) -> float:
+        cfg = self.config.executor
+        if self.policy.launch == LaunchModel.PRELAUNCHED:
+            return cfg.prelaunched_overhead
+        jitter = cfg.coldstart_jitter
+        return max(0.0, cfg.coldstart_mean + rng.uniform(-jitter, jitter))
+
+    def _try_compute_stages(self, unit: UnitRun) -> None:
+        """Prepare and compute every stage of the unit whose inputs are known."""
+        for sr in unit.stage_runs():
+            if sr.computed:
+                continue
+            if not self._stage_inputs_known(sr):
+                continue
+            if not sr.prepared:
+                self._prepare_stage(sr)
+            if sr.n_dispatched == len(sr.instances):
+                self._compute_stage(sr)
+            else:
+                # Wave execution: compute the dispatched prefix now.
+                self._compute_ready_instances(sr)
+
+    def _stage_inputs_known(self, sr: StageRun) -> bool:
+        job_run = sr.job_run
+        for edge in job_run.dag.in_edges(sr.name):
+            producer = job_run.stage_runs[edge.src]
+            if producer.unit_id != sr.unit_id:
+                if not producer.completed:
+                    return False
+            elif not producer.computed:
+                return False
+        return True
+
+    def _edge_streams(self, job_run: JobRun, edge: Edge, consumer_sr: StageRun) -> bool:
+        """True when ``edge`` streams into ``consumer_sr`` (no barrier wait)."""
+        producer = job_run.stage_runs[edge.src]
+        if producer.unit_id != consumer_sr.unit_id:
+            return False
+        if job_run.dag.edge_mode(edge) == EdgeMode.BARRIER:
+            return False
+        return self.policy.pipelined_execution
+
+    def _edge_scheme(self, job_run: JobRun, edge: Edge, cross_unit: bool) -> ShuffleScheme:
+        requested = (
+            self.policy.effective_cross_unit_shuffle() if cross_unit else self.policy.shuffle
+        )
+        return resolve_scheme(requested, job_run.dag.edge_size(edge), self.config.shuffle)
+
+    def _prepare_stage(self, sr: StageRun) -> None:
+        """Compute stage-level costs and input-availability constants."""
+        job_run = sr.job_run
+        dag = job_run.dag
+        stage = sr.stage
+        machines = max(1, len(self.cluster.schedulable_machines()))
+        tasks_per_machine = max(1, math.ceil(stage.task_count / machines))
+
+        if stage.scan_bytes_per_task > 0:
+            sr.scan_read = self.cluster.disk.read_time(
+                stage.scan_bytes_per_task, n_files=1, concurrent_tasks=tasks_per_machine
+            )
+
+        read_cost = 0.0
+        barrier_avail = 0.0
+        pipeline_floor = 0.0
+        pipeline_first = 0.0
+        total_conns = 0
+        in_edges = dag.in_edges(sr.name)
+        sr.has_inputs = bool(in_edges) or stage.scan_bytes_per_task > 0
+        for edge in in_edges:
+            producer_sr = job_run.stage_runs[edge.src]
+            cross = producer_sr.unit_id != sr.unit_id
+            scheme = self._edge_scheme(job_run, edge, cross)
+            m = dag.stage(edge.src).task_count
+            n = stage.task_count
+            y = self._effective_machines(m, n)
+            cost = self.shuffle_model.edge_cost(
+                scheme, dag.edge_bytes(edge), m, n, y,
+                barrier=not self._edge_streams(job_run, edge, sr),
+            )
+            read_cost += cost.read_per_task
+            total_conns += cost.connections
+            job_run.metrics.shuffle_schemes[f"{edge.src}->{edge.dst}"] = cost.scheme.value
+            if self._edge_streams(job_run, edge, sr):
+                pipeline_floor = max(pipeline_floor, producer_sr.finish_estimate)
+                pipeline_first = max(pipeline_first, producer_sr.first_output)
+            else:
+                avail = producer_sr.finish_estimate
+                if cross and scheme in (ShuffleScheme.LOCAL, ShuffleScheme.REMOTE):
+                    avail += self._cache_worker_read_delay(job_run, edge, n)
+                    avail += self._edge_extra_delay.get(
+                        (job_run.job.job_id, f"{edge.src}->{edge.dst}"), 0.0
+                    )
+                barrier_avail = max(barrier_avail, avail)
+        sr.read_cost = read_cost
+        sr.barrier_avail = barrier_avail
+        sr.pipeline_floor = pipeline_floor
+        sr.pipeline_first_input = pipeline_first
+        sr.registered_connections = total_conns
+        self.cluster.network.register_connections(total_conns)
+
+        write_cost = 0.0
+        for edge in dag.out_edges(sr.name):
+            consumer_sr = job_run.stage_runs[edge.dst]
+            cross = consumer_sr.unit_id != sr.unit_id
+            scheme = self._edge_scheme(job_run, edge, cross)
+            m = stage.task_count
+            n = dag.stage(edge.dst).task_count
+            y = self._effective_machines(m, n)
+            cost = self.shuffle_model.edge_cost(
+                scheme, dag.edge_bytes(edge), m, n, y,
+                barrier=not self._edge_streams(job_run, edge, consumer_sr),
+            )
+            write_cost += cost.write_per_task
+        if not dag.out_edges(sr.name) and stage.output_bytes_per_task > 0:
+            # Sink stages write their result to the client / ad-hoc sink.
+            write_cost += stage.output_bytes_per_task / self.config.network.nic_bandwidth
+        sr.write_cost = write_cost
+        sr.prepared = True
+
+    def _effective_machines(self, m: int, n: int) -> int:
+        """Machine spread Y of a shuffle: tasks pack onto executors, so with
+        dozens of executors per machine "Y is much smaller than M and N"
+        (Section III-B)."""
+        per_machine = max(1, self.cluster.total_executors() // self.cluster.n_machines)
+        return max(1, min(self.cluster.n_machines, math.ceil(max(m, n) / per_machine)))
+
+    def _cache_worker_read_delay(self, job_run: JobRun, edge: Edge, n_consumers: int) -> float:
+        """Extra read delay when a cross-unit edge's data was spilled."""
+        delay = 0.0
+        key = f"{edge.src}->{edge.dst}"
+        machine_ids = self._edge_cw_machines.get((job_run.job.job_id, key), ())
+        for machine_id in machine_ids:
+            worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
+            if worker is None:
+                continue
+            delay = max(delay, worker.read(job_run.job.job_id, key, self.sim.now))
+        return delay
+
+    def _work_seconds(self, sr: StageRun) -> float:
+        stage = sr.stage
+        if stage.work_seconds_per_task is not None:
+            return stage.work_seconds_per_task
+        dag = sr.job_run.dag
+        in_bytes = stage.scan_bytes_per_task
+        for edge in dag.in_edges(stage.name):
+            in_bytes += dag.edge_bytes(edge) / stage.task_count
+        return in_bytes / self.config.task_processing_rate
+
+    def _compute_stage(self, sr: StageRun) -> None:
+        self._compute_ready_instances(sr)
+        sr.computed = sr.n_computed == len(sr.instances)
+
+    def _compute_ready_instances(self, sr: StageRun) -> None:
+        """Compute finish times for dispatched-but-uncomputed instances."""
+        rng = self.sim.rng
+        work = self._work_seconds(sr)
+        flush = self.config.pipeline_flush_latency
+        for inst in sr.instances:
+            if inst.state != TaskState.DISPATCHED or inst.finish_time != math.inf:
+                continue
+            inst.proc = work * (1.0 + rng.uniform(0.0, 0.06))
+            inst.read = sr.scan_read + sr.read_cost
+            inst.write = sr.write_cost
+            ready = inst.plan_arrive + inst.launch
+            inst.start = max(ready, sr.barrier_avail)
+            finish = inst.start + inst.read + inst.proc + inst.write
+            if sr.pipeline_floor > 0:
+                finish = max(finish, sr.pipeline_floor + flush)
+                inst.start = max(inst.start, sr.pipeline_first_input)
+            inst.finish_time = finish
+            if not sr.has_inputs:
+                inst.data_arrive = ready
+            else:
+                arrivals = [ready]
+                if sr.barrier_avail > 0:
+                    arrivals.append(sr.barrier_avail)
+                if sr.pipeline_first_input > 0:
+                    arrivals.append(sr.pipeline_first_input)
+                inst.data_arrive = max(arrivals)
+            sr.n_computed += 1
+            sr.finish_estimate = max(sr.finish_estimate, inst.finish_time)
+            sr.earliest_read_done = min(sr.earliest_read_done, inst.start + inst.read)
+            self._schedule_finish(inst)
+        if sr.n_computed == len(sr.instances):
+            sr.computed = True
+            if sr.stage.is_blocking or not self.policy.pipelined_execution:
+                sr.first_output = sr.finish_estimate
+            else:
+                starts = [i.start for i in sr.instances if i.start != math.inf]
+                base = min(starts) if starts else self.sim.now
+                sr.first_output = max(base, sr.pipeline_first_input) + flush
+            # Unblock same-unit successors now that estimates exist.
+            self._try_compute_stages(sr.job_run.units[sr.unit_id])
+
+    def _schedule_finish(self, inst: TaskInstance) -> None:
+        if inst.event_scheduled:
+            return
+        inst.event_scheduled = True
+        self.sim.schedule_at(
+            max(inst.finish_time, self.sim.now), self._on_task_finish, inst
+        )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _on_task_finish(self, inst: TaskInstance) -> None:
+        inst.event_scheduled = False
+        job_run = inst.stage_run.job_run
+        if job_run.aborted or job_run.failed or inst.state == TaskState.DEAD:
+            return
+        if inst.finish_time == math.inf:
+            # Suspended by a machine crash; recovery will reschedule.
+            return
+        if inst.finish_time > self.sim.now + _EPS:
+            # Recovery moved the finish; chase it.
+            self._schedule_finish(inst)
+            return
+        if inst.state != TaskState.DISPATCHED:
+            return
+        inst.state = TaskState.FINISHED
+        self._finalize_instance(inst)
+        sr = inst.stage_run
+        sr.n_finalized += 1
+        if sr.n_finalized == len(sr.instances) and not sr.completed:
+            self._on_stage_completed(sr)
+        self._pump_scheduler()
+
+    def _finalize_instance(self, inst: TaskInstance) -> None:
+        sr = inst.stage_run
+        metrics = sr.job_run.metrics
+        timing = TaskTiming(
+            job_id=sr.job_run.job.job_id,
+            stage=sr.name,
+            index=inst.index,
+            attempt=inst.attempt,
+            plan_arrive=inst.plan_arrive,
+            data_arrive=min(inst.data_arrive, inst.finish_time),
+            finish=inst.finish_time,
+            launch_time=inst.launch,
+            shuffle_read_time=inst.read,
+            processing_time=inst.proc,
+            shuffle_write_time=inst.write,
+        )
+        metrics.tasks.append(timing)
+        self.busy_intervals.append((inst.plan_arrive, inst.finish_time))
+        if inst.executor is not None:
+            inst.executor.release()
+            inst.executor = None
+
+    def _on_stage_completed(self, sr: StageRun) -> None:
+        sr.completed = True
+        sr.finish_estimate = self.sim.now
+        job_run = sr.job_run
+        self.admin.admit_ops(self.sim.now, 1)
+        self.admin.record_status_report()
+        self.events.record(
+            self.sim.now, EventKind.STAGE_COMPLETED, job_run.job.job_id, sr.name
+        )
+        if sr.registered_connections:
+            self.cluster.network.release_connections(sr.registered_connections)
+            sr.registered_connections = 0
+        self._store_cross_unit_outputs(sr)
+        self._consume_cross_unit_inputs(sr)
+        # Cross-unit consumers (conservative submission) may be ready now.
+        self._try_submit_units(job_run)
+        # Eagerly-granted consumer units may now compute their stages.
+        for edge in job_run.dag.out_edges(sr.name):
+            consumer = job_run.stage_runs[edge.dst]
+            if consumer.unit_id != sr.unit_id:
+                unit = job_run.units[consumer.unit_id]
+                if unit.state == UnitState.GRANTED:
+                    self._try_compute_stages(unit)
+        unit = job_run.units[sr.unit_id]
+        if unit.state != UnitState.DONE and unit.all_completed():
+            unit.state = UnitState.DONE
+            self.events.record(
+                self.sim.now, EventKind.UNIT_COMPLETED, job_run.job.job_id,
+                f"unit {unit.graphlet_id}",
+            )
+            if all(u.state == UnitState.DONE for u in job_run.units.values()):
+                self._on_job_completed(job_run)
+
+    def _store_cross_unit_outputs(self, sr: StageRun) -> None:
+        """Write this stage's cross-unit shuffle data into Cache Workers."""
+        job_run = sr.job_run
+        dag = job_run.dag
+        for edge in dag.out_edges(sr.name):
+            consumer = job_run.stage_runs[edge.dst]
+            if consumer.unit_id == sr.unit_id:
+                continue
+            scheme = self._edge_scheme(job_run, edge, cross_unit=True)
+            if scheme not in (ShuffleScheme.LOCAL, ShuffleScheme.REMOTE):
+                continue
+            key = f"{edge.src}->{edge.dst}"
+            # Data lands on the Y machines the producer gang spanned.
+            m = dag.stage(edge.src).task_count
+            n = dag.stage(edge.dst).task_count
+            y = self._effective_machines(m, n)
+            machines = (self.cluster.schedulable_machines() or self.cluster.alive_machines())[:y]
+            share = dag.edge_bytes(edge) / max(1, len(machines))
+            consumers_per_machine = max(
+                1, math.ceil(dag.stage(edge.dst).task_count / max(1, len(machines)))
+            )
+            spill_delay = 0.0
+            job_id = job_run.job.job_id
+            self._edge_cw_machines[(job_id, key)] = [mm.machine_id for mm in machines]
+            self._job_cw_machines.setdefault(job_id, set()).update(
+                mm.machine_id for mm in machines
+            )
+            for machine in machines:
+                worker: CacheWorker = machine.cache_worker  # type: ignore[assignment]
+                spill_delay = max(
+                    spill_delay,
+                    worker.write(
+                        job_id,
+                        key,
+                        share,
+                        pending_consumers=consumers_per_machine,
+                        now=self.sim.now,
+                    ),
+                )
+            if spill_delay > 0:
+                self._edge_extra_delay[(job_id, key)] = spill_delay
+
+    def _consume_cross_unit_inputs(self, sr: StageRun) -> None:
+        """Release Cache Worker entries this stage has fully consumed."""
+        job_run = sr.job_run
+        for edge in job_run.dag.in_edges(sr.name):
+            producer = job_run.stage_runs[edge.src]
+            if producer.unit_id == sr.unit_id:
+                continue
+            key = f"{edge.src}->{edge.dst}"
+            machine_ids = self._edge_cw_machines.pop(
+                (job_run.job.job_id, key), ()
+            )
+            for machine_id in machine_ids:
+                worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
+                if worker is not None:
+                    entry = worker.entry(job_run.job.job_id, key)
+                    if entry is not None:
+                        entry.pending_consumers = 1
+                        worker.consume(job_run.job.job_id, key)
+
+    def _on_job_completed(self, job_run: JobRun) -> None:
+        job_run.done = True
+        job_run.metrics.finish_time = self.sim.now
+        self.events.record(
+            self.sim.now, EventKind.JOB_COMPLETED, job_run.job.job_id
+        )
+        self._release_cache_workers(job_run.job.job_id)
+        self.results.append(
+            JobResult(
+                job_id=job_run.job.job_id,
+                policy_name=self.policy.name,
+                metrics=job_run.metrics,
+                completed=True,
+                failed=False,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_failure(self, spec: FailureSpec, job_id: str) -> None:
+        job_run = self.job_runs.get(job_id)
+        if job_run is None or job_run.done or job_run.aborted or job_run.failed:
+            return
+        delay = detection_delay(spec.kind, self.config.admin, self.cluster.n_machines)
+        detect_t = self.sim.now + delay
+        job_run.metrics.failures += 1
+        self.events.record(
+            self.sim.now, EventKind.FAILURE_INJECTED, job_id,
+            f"{spec.kind.value} stage={spec.stage or '-'}",
+        )
+
+        if spec.kind == FailureKind.APPLICATION_ERROR:
+            # Useless recovery: report to the Job Monitor, fail the job.
+            self.sim.schedule_at(detect_t, self._fail_job, job_run)
+            return
+
+        if spec.kind == FailureKind.MACHINE_CRASH:
+            machine = self.cluster.machines[spec.machine_id or 0]
+            machine.mark_dead()
+            victims = [
+                inst
+                for jr in self.job_runs.values()
+                for sr in jr.stage_runs.values()
+                for inst in sr.instances
+                if inst.executor is not None and inst.executor.machine is machine
+            ]
+            for inst in victims:
+                inst.executor = None
+                if inst.state == TaskState.DISPATCHED:
+                    # The in-flight attempt dies with the machine; suspend
+                    # its completion until recovery re-runs it.
+                    inst.finish_time = math.inf
+            if self.policy.recovery == FailureRecovery.JOB_RESTART:
+                self.sim.schedule_at(detect_t, self._restart_job, job_run)
+            else:
+                for inst in victims:
+                    if inst.stage_run.job_run is job_run:
+                        self.sim.schedule_at(detect_t, self._recover_task, inst)
+            return
+
+        instance = self._find_target_instance(job_run, spec)
+        if instance is None:
+            return
+        if (
+            spec.kind == FailureKind.PROCESS_RESTART
+            and instance.executor is not None
+        ):
+            # The executor process dies and relaunches with a new PID; the
+            # self-report of the new PID is what the Admin detects
+            # (Section IV-A's lazy, passive process tracking).
+            instance.executor.relaunch()
+            instance.executor = None
+            if instance.state == TaskState.DISPATCHED:
+                instance.finish_time = math.inf
+        if instance.executor is not None:
+            flagged = self.admin.record_task_failure(
+                instance.executor.machine.machine_id, self.sim.now
+            )
+            if flagged:
+                instance.executor.machine.mark_read_only()
+                self.events.record(
+                    self.sim.now, EventKind.MACHINE_QUARANTINED, job_id,
+                    f"machine {instance.executor.machine.machine_id}",
+                )
+        if self.policy.recovery == FailureRecovery.JOB_RESTART:
+            self.sim.schedule_at(detect_t, self._restart_job, job_run)
+        else:
+            self.sim.schedule_at(detect_t, self._recover_task, instance)
+
+    def _find_target_instance(
+        self, job_run: JobRun, spec: FailureSpec
+    ) -> Optional[TaskInstance]:
+        if spec.stage is not None:
+            sr = job_run.stage_runs.get(spec.stage)
+            if sr is None:
+                return None
+            if spec.task_index is not None:
+                return sr.instances[spec.task_index]
+            running = [
+                i
+                for i in sr.instances
+                if i.state == TaskState.DISPATCHED and i.plan_arrive <= self.sim.now
+            ]
+            if running:
+                return running[0]
+            finished = [i for i in sr.instances if i.state == TaskState.FINISHED]
+            if finished:
+                return finished[0]
+            return sr.instances[0]
+        # No stage named: hit the first currently-running task of the job.
+        for sr in job_run.stage_runs.values():
+            for inst in sr.instances:
+                if inst.state == TaskState.DISPATCHED and inst.plan_arrive <= self.sim.now:
+                    return inst
+        for sr in job_run.stage_runs.values():
+            if sr.instances:
+                return sr.instances[0]
+        return None
+
+    def _fail_job(self, job_run: JobRun) -> None:
+        if job_run.done or job_run.failed:
+            return
+        job_run.failed = True
+        self.events.record(self.sim.now, EventKind.JOB_FAILED, job_run.job.job_id)
+        self._release_job_resources(job_run)
+        job_run.metrics.finish_time = self.sim.now
+        self.results.append(
+            JobResult(
+                job_id=job_run.job.job_id,
+                policy_name=self.policy.name,
+                metrics=job_run.metrics,
+                completed=False,
+                failed=True,
+            )
+        )
+
+    def _release_cache_workers(self, job_id: str) -> None:
+        """Drop all Cache Worker entries a job left behind."""
+        for machine_id in self._job_cw_machines.pop(job_id, ()):
+            worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
+            if worker is not None:
+                worker.release_job(job_id)
+        stale = [k for k in self._edge_cw_machines if k[0] == job_id]
+        for key in stale:
+            del self._edge_cw_machines[key]
+
+    def _release_job_resources(self, job_run: JobRun) -> None:
+        self.scheduler.cancel_job(job_run.job.job_id)
+        for sr in job_run.stage_runs.values():
+            if sr.registered_connections:
+                self.cluster.network.release_connections(sr.registered_connections)
+                sr.registered_connections = 0
+            for inst in sr.instances:
+                if inst.state == TaskState.DISPATCHED:
+                    self.busy_intervals.append((inst.plan_arrive, self.sim.now))
+                if inst.executor is not None:
+                    inst.executor.release()
+                    inst.executor = None
+                inst.state = TaskState.DEAD
+        self._release_cache_workers(job_run.job.job_id)
+        self._pump_scheduler()
+
+    def _restart_job(self, job_run: JobRun) -> None:
+        if job_run.done or job_run.aborted or job_run.failed:
+            return
+        job_run.aborted = True
+        job_run.metrics.restarts += 1
+        self.admin.drop_job_plans(job_run.job.job_id)
+        self._release_job_resources(job_run)
+        self._on_job_submitted(job_run.job, job_run.attempt + 1)
+
+    def _recover_task(self, inst: TaskInstance) -> None:
+        """Fine-grained recovery (Section IV-B) for one failed task."""
+        sr = inst.stage_run
+        job_run = sr.job_run
+        if job_run.done or job_run.aborted or job_run.failed:
+            return
+        if inst.state in (TaskState.DEAD, TaskState.PENDING):
+            # A task that never received a plan has produced nothing and
+            # consumed nothing; there is nothing to recover.
+            return
+        if inst.start == math.inf:
+            # Dispatched but never computed (inputs still unknown): the
+            # normal flow will execute it; nothing to recover.
+            return
+        has_executed = {
+            name: s.n_computed > 0 and any(i.start <= self.sim.now for i in s.instances)
+            for name, s in job_run.stage_runs.items()
+        }
+        decision = plan_recovery(
+            job_run.dag,
+            job_run.graphlets,
+            sr.name,
+            kind=FailureKind.TASK_CRASH,
+            task_finished=inst.state == TaskState.FINISHED,
+            output_fully_consumed=self._output_consumed(sr),
+            has_executed=has_executed,
+        )
+        if decision.noop:
+            self.events.record(
+                self.sim.now, EventKind.TASK_RECOVERED, job_run.job.job_id,
+                f"{sr.name}[{inst.index}] noop ({decision.case.value})",
+            )
+            return
+        resend_delay = 0.0
+        for pred_name in decision.resend_from:
+            pred = job_run.dag.stage(pred_name)
+            share = pred.total_output_bytes / max(1, sr.stage.task_count)
+            resend_delay += share / self.config.network.nic_bandwidth
+        base = self.sim.now + resend_delay
+        # Re-run the failed task itself.
+        new_finish = self._rerun_instance(inst, base)
+        self.events.record(
+            self.sim.now, EventKind.TASK_RECOVERED, job_run.job.job_id,
+            f"{sr.name}[{inst.index}] rerun ({decision.case.value})",
+        )
+        # Non-idempotent case: executed same-unit successors re-run too,
+        # each gated on the upstream re-run finishing.
+        for stage_name in decision.rerun_stages:
+            if stage_name == sr.name:
+                continue
+            succ_sr = job_run.stage_runs[stage_name]
+            gate = new_finish
+            stage_finish = gate
+            for succ_inst in succ_sr.instances:
+                if succ_inst.state == TaskState.PENDING:
+                    continue
+                finish = self._rerun_instance(succ_inst, gate)
+                stage_finish = max(stage_finish, finish)
+            new_finish = stage_finish
+        self._propagate_delays(sr)
+
+    def _rerun_instance(self, inst: TaskInstance, not_before: float) -> float:
+        """Re-execute ``inst`` in place; returns its new finish time."""
+        sr = inst.stage_run
+        inst.attempt += 1
+        was_finished = inst.state == TaskState.FINISHED
+        if was_finished:
+            sr.n_finalized -= 1
+            sr.completed = False
+        inst.state = TaskState.DISPATCHED
+        relaunch = self.config.executor.prelaunched_overhead
+        # Recovery re-dispatches a cached plan (Plan Handler hit); only a
+        # never-before-dispatched task pays plan generation again.
+        if not self.admin.plan_cached(sr.job_run.job.job_id, sr.name):
+            relaunch += self.config.admin.event_processing_time
+        if inst.executor is None:
+            executor = self._grab_free_executor()
+            if executor is not None:
+                executor.assign(inst)
+                executor.start()
+                inst.executor = executor
+                relaunch += self.config.admin.dispatch_latency
+            else:
+                # No free slot right now; model a short re-acquire wait.
+                relaunch += 0.5
+        start = max(not_before, sr.barrier_avail) + relaunch
+        inst.start = start
+        finish = start + inst.read + inst.proc + inst.write
+        if sr.pipeline_floor > 0:
+            # A streamed consumer still cannot finish before its producers
+            # have flushed, even on re-execution.
+            finish = max(finish, sr.pipeline_floor + self.config.pipeline_flush_latency)
+        inst.finish_time = finish
+        sr.finish_estimate = max(sr.finish_estimate, inst.finish_time)
+        self._schedule_finish(inst)
+        return inst.finish_time
+
+    def _grab_free_executor(self) -> Optional[Executor]:
+        for machine in self.cluster.schedulable_machines():
+            free = machine.free_executors()
+            if free:
+                return free[0]
+        return None
+
+    def _output_consumed(self, sr: StageRun) -> bool:
+        """True when every consumer of ``sr`` has already read its output."""
+        job_run = sr.job_run
+        out_edges = job_run.dag.out_edges(sr.name)
+        if not out_edges:
+            return True
+        for edge in out_edges:
+            consumer = job_run.stage_runs[edge.dst]
+            if consumer.completed:
+                continue
+            if consumer.computed and consumer.earliest_read_done <= self.sim.now:
+                continue
+            return False
+        return True
+
+    def _propagate_delays(self, sr: StageRun) -> None:
+        """Push updated finish estimates through downstream stages.
+
+        Walks the whole downstream cone in topological order, lifting each
+        computed stage's instance finish times to respect the new barrier
+        availability / pipeline floors.  Finish events self-reschedule.
+        """
+        job_run = sr.job_run
+        dag = job_run.dag
+        order = dag.topo_order()
+        position = {name: i for i, name in enumerate(order)}
+        frontier = {sr.name}
+        for name in order:
+            if position[name] <= position[sr.name] and name != sr.name:
+                continue
+            if name != sr.name and not any(
+                pred in frontier for pred in dag.predecessors(name)
+            ):
+                continue
+            frontier.add(name)
+            if name == sr.name:
+                continue
+            consumer = job_run.stage_runs[name]
+            if not consumer.computed or consumer.completed:
+                continue
+            floor = 0.0
+            barrier = consumer.barrier_avail
+            for edge in dag.in_edges(name):
+                producer = job_run.stage_runs[edge.src]
+                if self._edge_streams(job_run, edge, consumer):
+                    floor = max(floor, producer.finish_estimate)
+                else:
+                    barrier = max(barrier, producer.finish_estimate)
+            consumer.barrier_avail = barrier
+            flush = self.config.pipeline_flush_latency
+            for inst in consumer.instances:
+                if inst.state != TaskState.DISPATCHED or inst.finish_time == math.inf:
+                    continue
+                new_start = max(inst.start, barrier)
+                new_finish = new_start + inst.read + inst.proc + inst.write
+                if floor > 0:
+                    new_finish = max(new_finish, floor + flush)
+                if new_finish > inst.finish_time + _EPS:
+                    inst.start = new_start
+                    inst.finish_time = new_finish
+                    consumer.finish_estimate = max(
+                        consumer.finish_estimate, new_finish
+                    )
+                    self._schedule_finish(inst)

@@ -1,0 +1,81 @@
+"""Shadow controller: Admin failover without losing running jobs.
+
+Section II-B: "the shadow controller mechanism is enabled to avoid a single
+point of failure."  In Swift, a standby Admin mirrors the primary's state
+(executor status cache, job monitors, cached plans); when the primary dies,
+the shadow takes over after a failover delay during which no new plans are
+dispatched — running tasks keep executing and report completion to the new
+primary.
+
+The model: an :class:`AdminFailover` event freezes controller dispatching
+for ``failover_seconds`` (leader election + state reconciliation from the
+executors' self-reports), then resumes.  Tasks already running are
+unaffected; queued dispatches and resource grants wait out the freeze.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FailoverEvent:
+    """One primary-Admin failure at ``at_time``."""
+
+    at_time: float
+    #: Leader election + state resynchronisation time.  The shadow already
+    #: mirrors soft state, so this is seconds, not minutes.
+    failover_seconds: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0 or self.failover_seconds < 0:
+            raise ValueError("failover times must be non-negative")
+
+
+@dataclass
+class ShadowController:
+    """Tracks Admin availability windows for the runtime.
+
+    The runtime consults :meth:`next_available` before dispatching: a
+    dispatch requested during a failover window is delayed to the window's
+    end.  ``failovers_completed`` counts handovers for introspection.
+    """
+
+    events: list[FailoverEvent] = field(default_factory=list)
+    failovers_completed: int = 0
+
+    def add(self, event: FailoverEvent) -> "ShadowController":
+        """Register a failover; keeps events sorted by time."""
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at_time)
+        return self
+
+    def window_at(self, now: float) -> tuple[float, float] | None:
+        """The (start, end) failover window covering ``now``, if any."""
+        for event in self.events:
+            end = event.at_time + event.failover_seconds
+            if event.at_time <= now < end:
+                return (event.at_time, end)
+        return None
+
+    def next_available(self, now: float) -> float:
+        """Earliest time at or after ``now`` when the Admin can dispatch.
+
+        Consecutive failovers chain: if the end of one window lands inside
+        another, the delay accumulates.
+        """
+        cursor = now
+        progressed = True
+        while progressed:
+            progressed = False
+            window = self.window_at(cursor)
+            if window is not None:
+                cursor = window[1]
+                progressed = True
+        return cursor
+
+    def record_completion(self, now: float) -> None:
+        """Count failovers whose window has fully passed by ``now``."""
+        self.failovers_completed = sum(
+            1 for e in self.events if e.at_time + e.failover_seconds <= now
+        )

@@ -1,0 +1,170 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each isolates one Swift mechanism by
+toggling a single policy knob on otherwise-identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from ..core.partition import (
+    BubblePartitioner,
+    StagePartitioner,
+    SwiftPartitioner,
+    WholeJobPartitioner,
+)
+from ..core.policies import SubmissionOrder, swift_policy
+from ..sim.config import SimConfig
+from ..sim.failures import FailureKind, FailurePlan, FailureSpec
+from ..workloads import tpch, traces
+from .harness import ExperimentResult, makespan, mean_latency, run_jobs, run_single
+
+
+def partitioning_ablation(n_jobs: int = 150) -> ExperimentResult:
+    """Scheduling-granularity ablation: Swift graphlets vs whole-job vs
+    per-stage vs data-size bubbles, all else equal (in-memory shuffle,
+    pre-launched executors)."""
+    jobs = traces.generate_trace(
+        traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=0.08)
+    )
+    result = ExperimentResult(
+        name="ablation_partitioning",
+        notes=(
+            "same executors/shuffle everywhere; only the unit of scheduling "
+            "varies. With an ample memory budget, bubbles coincide with "
+            "graphlets on these small jobs; whole-job gangs pay their cost "
+            "in IdleRatio and latency rather than raw makespan."
+        ),
+    )
+    partitioners = (
+        ("graphlet (swift)", SwiftPartitioner()),
+        ("whole job", WholeJobPartitioner()),
+        ("per stage", StagePartitioner()),
+        ("bubble", BubblePartitioner()),
+    )
+    for label, partitioner in partitioners:
+        policy = swift_policy(name=f"swift_{partitioner.name}", partitioner=partitioner)
+        results, _ = run_jobs(policy, jobs)
+        idle = statistics.mean(r.metrics.idle_ratio() for r in results)
+        result.add(
+            partitioning=label,
+            makespan_s=makespan(results),
+            mean_latency_s=mean_latency(results),
+            mean_idle_ratio_pct=100 * idle,
+        )
+    return result
+
+
+def submission_order_ablation(query: int = 9) -> ExperimentResult:
+    """Section III-A2's note: the conservative graphlet submission order
+    delays M7/M8 (which *could* run alongside graphlet 2) to avoid J10
+    idling.  Compare conservative vs eager on Q9."""
+    result = ExperimentResult(
+        name="ablation_submission_order",
+        notes="conservative avoids executor idling; eager starts leaves earlier",
+    )
+    for order in (SubmissionOrder.CONSERVATIVE, SubmissionOrder.EAGER):
+        policy = swift_policy(name=f"swift_{order.value}", submission=order)
+        res = run_single(policy, tpch.query_job(query))
+        result.add(
+            submission=order.value,
+            run_time_s=res.metrics.run_time,
+            mean_idle_ratio_pct=100 * res.metrics.idle_ratio(),
+        )
+    return result
+
+
+def heartbeat_interval_ablation(
+    intervals: tuple[float, ...] = (1.0, 5.0, 15.0, 60.0),
+    n_failures: int = 4,
+) -> ExperimentResult:
+    """Failure-detection sensitivity: machine-crash recovery latency as a
+    function of the heartbeat interval (Section IV-A's 5/10/15s trade-off)."""
+    base = run_single(swift_policy(), tpch.query_job(13)).metrics.run_time
+    result = ExperimentResult(
+        name="ablation_heartbeat_interval",
+        notes="machine crash at 30% of the job; detection waits for the heartbeat",
+    )
+    for interval in intervals:
+        config = SimConfig()
+        config.admin.heartbeat_intervals = ((1 << 62, interval),)
+        plan = FailurePlan(
+            [FailureSpec(kind=FailureKind.MACHINE_CRASH, machine_id=1, at_fraction=0.3)]
+        )
+        res = run_single(
+            swift_policy(), tpch.query_job(13), config=config,
+            failure_plan=plan, reference_duration=base,
+        )
+        result.add(
+            heartbeat_s=interval,
+            slowdown_pct=100 * (res.metrics.run_time / base - 1),
+        )
+    return result
+
+
+def cache_memory_ablation(
+    capacities_gb: tuple[float, ...] = (0.5, 2.0, 8.0, 48.0),
+) -> ExperimentResult:
+    """Cache Worker memory pressure: shrink the per-machine cache until the
+    LRU policy must spill, and measure the job-time impact (Section III-B's
+    claim that chunked spill "would not hurt performance greatly")."""
+    result = ExperimentResult(
+        name="ablation_cache_memory",
+        notes="large-shuffle jobs; smaller caches force LRU spill to disk",
+    )
+    jobs = traces.shuffle_class_jobs("large", n_jobs=4)
+    for capacity in capacities_gb:
+        config = SimConfig()
+        config.cache_worker.memory_capacity = int(capacity * 1024 ** 3)
+        results, runtime = run_jobs(
+            swift_policy(), jobs, n_machines=50, executors_per_machine=16,
+            config=config,
+        )
+        spills = sum(
+            machine.cache_worker.spill_events
+            for machine in runtime.cluster.machines
+            if machine.cache_worker is not None
+        )
+        result.add(
+            cache_gb=capacity,
+            mean_latency_s=mean_latency(results),
+            spill_events=spills,
+        )
+    return result
+
+
+def failure_rate_sweep(
+    rates: tuple[float, ...] = (0.0, 0.2, 0.5, 0.8),
+    n_jobs: int = 120,
+    seed: int = 29,
+) -> ExperimentResult:
+    """How gracefully each recovery policy degrades as failures get more
+    frequent (extends Fig. 15 into a sweep)."""
+    from ..baselines import restart_policy
+    from ..sim.failures import sample_trace_failures
+
+    jobs = traces.generate_trace(
+        traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=0.3)
+    )
+    base_results, _ = run_jobs(swift_policy(), jobs)
+    base = {r.job_id: r.metrics.latency for r in base_results}
+    result = ExperimentResult(name="ablation_failure_rate_sweep")
+    for rate in rates:
+        plan = sample_trace_failures(
+            [j.job_id for j in jobs], rate, random.Random(seed)
+        )
+        row: dict[str, object] = {"failure_rate": rate}
+        for policy in (swift_policy(), restart_policy()):
+            results, _ = run_jobs(
+                policy, jobs, failure_plan=plan, reference_duration=base
+            )
+            slowdowns = [
+                100 * (r.metrics.latency / base[r.job_id] - 1)
+                for r in results
+                if base.get(r.job_id, 0) > 0
+            ]
+            row[f"{policy.name}_slowdown_pct"] = statistics.mean(slowdowns)
+        result.add(**row)
+    return result

@@ -1,0 +1,518 @@
+"""One runner per table/figure of the paper's evaluation (Section V).
+
+Each ``figNN_*`` / ``table1_*`` function regenerates the corresponding
+result on the simulator and returns an
+:class:`~repro.experiments.harness.ExperimentResult` whose rows mirror the
+paper's rows/series.  ``PAPER`` holds the published values so benchmarks can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import Sequence
+
+from ..baselines import bubble_policy, jetscope_policy, restart_policy, spark_policy
+from ..core.dag import Job
+from ..core.metrics import four_quartile_summary, normalized_cdf, utilization_series
+from ..core.policies import swift_policy
+from ..core.shuffle import ShuffleScheme
+from ..sim.config import SimConfig
+from ..sim.failures import FailureKind, FailurePlan, FailureSpec, sample_trace_failures
+from ..workloads import terasort, tpch, traces
+from .harness import ExperimentResult, makespan, mean_latency, run_jobs, run_single
+
+#: Published values from the paper, used for paper-vs-measured reporting.
+PAPER: dict[str, object] = {
+    "fig3_idle_ratio_pct": (3.81, 13.15, 14.45, 14.92),
+    "fig8_avg_runtime_s": 30.0,
+    "fig8_frac_under_120s": 0.90,
+    "fig8_frac_tasks_le_80": 0.80,
+    "fig8_frac_stages_le_4": 0.80,
+    "fig9a_total_speedup": 2.11,
+    "fig9b_spark_launch_total_s": 71.0,
+    "fig9b_swift_shuffle_read_s": 8.92,
+    "fig9b_swift_shuffle_write_s": 9.61,
+    "fig9b_spark_shuffle_write_s": 137.8,
+    "fig9b_spark_shuffle_read_s": 133.9,
+    "table1": {(250, 250): (61, 19, 3.07), (500, 500): (103, 26, 3.96),
+               (1000, 1000): (233, 33, 7.06), (1500, 1500): (539, 38, 14.18)},
+    "fig10_jetscope_speedup": 2.44,
+    "fig10_bubble_speedup_over_jetscope": 1.98,
+    "fig10_bubble_over_swift": 1.23,
+    "fig11_jetscope_frac_ge_2x": 0.60,
+    "fig12": {
+        "small": {"direct": 1.00, "local": 1.04, "remote": 1.03},
+        "medium": {"direct": 1.25, "local": 1.038, "remote": 1.00},
+        "large": {"direct": 2.083, "local": 1.00, "remote": 1.479},
+    },
+    "fig14_swift_max_slowdown_pct": 10.0,
+    "fig15_restart_slowdown_pct": 45.0,
+    "fig15_swift_slowdown_pct": 5.0,
+    "fig16_executors": (10_000, 140_000),
+}
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — IdleRatio of four production clusters under gang scheduling
+# ----------------------------------------------------------------------
+
+def fig3_idle_ratio(n_jobs: int = 150, n_machines: int = 100) -> ExperimentResult:
+    """Mean task IdleRatio per cluster profile under whole-job gang
+    scheduling (the four bars of Fig. 3)."""
+    result = ExperimentResult(
+        name="fig3_idle_ratio",
+        notes="paper: 3.81 / 13.15 / 14.45 / 14.92 % across clusters #1-#4",
+    )
+    for profile in range(4):
+        jobs = traces.cluster_profile_jobs(profile, n_jobs=n_jobs)
+        results, _ = run_jobs(jetscope_policy(), jobs, n_machines=n_machines)
+        per_job = [r.metrics.idle_ratio() for r in results]
+        summary = four_quartile_summary(per_job)
+        result.add(
+            cluster=f"#{profile + 1}",
+            idle_ratio_pct=100.0 * summary["iq_mean"],
+            paper_pct=PAPER["fig3_idle_ratio_pct"][profile],
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — trace characteristics
+# ----------------------------------------------------------------------
+
+def fig8_trace_characteristics(n_jobs: int = 2000) -> ExperimentResult:
+    """Runtime and size distributions of the generated trace (Fig. 8)."""
+    jobs = traces.generate_trace(traces.TraceConfig(n_jobs=n_jobs))
+    stats = traces.trace_statistics(jobs)
+    # Run a sample of jobs unloaded to measure the runtime distribution.
+    sample = jobs[:: max(1, n_jobs // 300)]
+    runtimes: list[float] = []
+    for job in sample:
+        solo = Job(dag=job.dag, submit_time=0.0)
+        runtimes.append(run_single(swift_policy(), solo).metrics.run_time)
+    runtimes.sort()
+    frac_under_120 = sum(1 for r in runtimes if r <= 120.0) / len(runtimes)
+    result = ExperimentResult(
+        name="fig8_trace_characteristics",
+        notes="paper: avg 30s, >90% <=120s, >80% of jobs <=80 tasks and <=4 stages",
+    )
+    result.add(metric="avg_runtime_s", measured=statistics.mean(runtimes), paper=30.0)
+    result.add(metric="frac_runtime_le_120s", measured=frac_under_120, paper=0.90)
+    result.add(metric="frac_tasks_le_80", measured=stats["frac_tasks_le_80"], paper=0.80)
+    result.add(metric="frac_stages_le_4", measured=stats["frac_stages_le_4"], paper=0.80)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 9(a) — TPC-H, Swift vs Spark
+# ----------------------------------------------------------------------
+
+def fig9a_tpch(
+    queries: Sequence[int] = tpch.ALL_QUERIES, scale: float = 1.0
+) -> ExperimentResult:
+    """Per-query execution time of Swift and Spark on TPC-H (Fig. 9(a))."""
+    result = ExperimentResult(
+        name="fig9a_tpch", notes="paper: total speedup 2.11x over Spark SQL 2.4.6"
+    )
+    total_swift = total_spark = 0.0
+    for query in queries:
+        swift_t = run_single(swift_policy(), tpch.query_job(query, scale)).metrics.run_time
+        spark_t = run_single(spark_policy(), tpch.query_job(query, scale)).metrics.run_time
+        total_swift += swift_t
+        total_spark += spark_t
+        result.add(query=f"Q{query}", swift_s=swift_t, spark_s=spark_t,
+                   speedup=spark_t / swift_t)
+    result.add(query="TOTAL", swift_s=total_swift, spark_s=total_spark,
+               speedup=total_spark / total_swift)
+    return result
+
+
+def fig9b_q9_phases(scale: float = 1.0) -> ExperimentResult:
+    """4-phase breakdown of Q9's critical stages (Fig. 9(b))."""
+    result = ExperimentResult(
+        name="fig9b_q9_phases",
+        notes=(
+            "paper: Spark launching >71s total; Swift SR 8.92s / SW 9.61s vs "
+            "Spark disk shuffle 137.8s / 133.9s"
+        ),
+    )
+    swift_res = run_single(swift_policy(), tpch.query_job(9, scale))
+    spark_res = run_single(spark_policy(), tpch.query_job(9, scale))
+    for stage in tpch.Q9_CRITICAL_STAGES:
+        sw = swift_res.metrics.phase_breakdown(stage)
+        sp = spark_res.metrics.phase_breakdown(stage)
+        result.add(
+            stage=stage,
+            swift_L=sw.launch, swift_SR=sw.shuffle_read,
+            swift_P=sw.processing, swift_SW=sw.shuffle_write,
+            spark_L=sp.launch, spark_SR=sp.shuffle_read,
+            spark_P=sp.processing, spark_SW=sp.shuffle_write,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table I — Terasort
+# ----------------------------------------------------------------------
+
+def table1_terasort(
+    sizes: Sequence[tuple[int, int]] = terasort.TABLE1_SIZES
+) -> ExperimentResult:
+    """Terasort M x N sweep, Spark vs Swift (Table I)."""
+    result = ExperimentResult(
+        name="table1_terasort",
+        notes="paper speedups: 3.07 / 3.96 / 7.06 / 14.18 as size grows",
+    )
+    for m, n in sizes:
+        swift_t = run_single(swift_policy(), terasort.terasort_job(m, n)).metrics.run_time
+        spark_t = run_single(spark_policy(), terasort.terasort_job(m, n)).metrics.run_time
+        paper = PAPER["table1"].get((m, n))  # type: ignore[union-attr]
+        result.add(
+            job_size=f"{m}x{n}", spark_s=spark_t, swift_s=swift_t,
+            speedup=spark_t / swift_t,
+            paper_speedup=paper[2] if paper else float("nan"),
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figs. 10 & 11 — trace replay against JetScope and Bubble Execution
+# ----------------------------------------------------------------------
+
+_REPLAY_CACHE: dict[tuple[int, float], dict[str, tuple[list, object]]] = {}
+
+
+def _replay_three_systems(
+    n_jobs: int, mean_interarrival: float
+) -> dict[str, tuple[list, object]]:
+    key = (n_jobs, mean_interarrival)
+    if key not in _REPLAY_CACHE:
+        jobs = traces.generate_trace(
+            traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=mean_interarrival)
+        )
+        out: dict[str, tuple[list, object]] = {}
+        for policy in (swift_policy(), bubble_policy(), jetscope_policy()):
+            results, runtime = run_jobs(policy, jobs)
+            out[policy.name] = (results, runtime)
+        _REPLAY_CACHE[key] = out
+    return _REPLAY_CACHE[key]
+
+
+def fig10_executor_timeseries(
+    n_jobs: int = 400, mean_interarrival: float = 0.08, step: float = 10.0
+) -> ExperimentResult:
+    """Running-executor counts over time for the three systems (Fig. 10)."""
+    replay = _replay_three_systems(n_jobs, mean_interarrival)
+    result = ExperimentResult(
+        name="fig10_executor_timeseries",
+        notes="paper: Swift 240s, Bubble 296s; 2.44x / 1.98x speedup over JetScope",
+    )
+    spans = {name: makespan(results) for name, (results, _) in replay.items()}
+    horizon = max(spans.values())
+    series = {
+        name: utilization_series(runtime.busy_intervals, step, horizon)
+        for name, (_, runtime) in replay.items()
+    }
+    n_points = len(next(iter(series.values())))
+    for i in range(n_points):
+        row: dict[str, object] = {"time_s": series["swift"][i].time}
+        for name in ("swift", "bubble", "jetscope"):
+            row[f"{name}_running"] = series[name][i].running_executors
+        result.add(**row)
+    result.add(
+        time_s="makespan",
+        swift_running=spans["swift"],
+        bubble_running=spans["bubble"],
+        jetscope_running=spans["jetscope"],
+    )
+    return result
+
+
+def fig10_makespans(
+    n_jobs: int = 400, mean_interarrival: float = 0.08
+) -> dict[str, float]:
+    """Makespans of the three systems (the headline Fig. 10 numbers)."""
+    replay = _replay_three_systems(n_jobs, mean_interarrival)
+    return {name: makespan(results) for name, (results, _) in replay.items()}
+
+
+def fig11_latency_cdf(
+    n_jobs: int = 400, mean_interarrival: float = 0.08
+) -> ExperimentResult:
+    """CDF of job latency normalized to Swift (Fig. 11)."""
+    replay = _replay_three_systems(n_jobs, mean_interarrival)
+    swift_lat = {r.job_id: r.metrics.latency for r in replay["swift"][0]}
+    result = ExperimentResult(
+        name="fig11_latency_cdf",
+        notes="paper: >60% of JetScope jobs at >=2x Swift latency; Bubble close to Swift",
+    )
+    for name in ("bubble", "jetscope"):
+        lat = {r.job_id: r.metrics.latency for r in replay[name][0]}
+        ordered = sorted(swift_lat)
+        cdf = normalized_cdf(
+            [lat[j] for j in ordered], [swift_lat[j] for j in ordered]
+        )
+        ratios = [r for r, _ in cdf]
+        frac_ge_2 = sum(1 for r in ratios if r >= 2.0) / len(ratios)
+        result.add(
+            system=name,
+            median_ratio=ratios[len(ratios) // 2],
+            p90_ratio=ratios[int(len(ratios) * 0.9)],
+            frac_ge_2x=frac_ge_2,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — shuffle-scheme ablation by shuffle size class
+# ----------------------------------------------------------------------
+
+def fig12_shuffle_ablation(
+    n_jobs: int = 10, n_machines: int = 200, executors_per_machine: int = 16
+) -> ExperimentResult:
+    """Normalized average job time per (size class, shuffle scheme).
+
+    The paper replays each class with Direct, Local, and Remote Shuffle on
+    the 2,000-node cluster; times are normalized to Direct = 1 per class.
+    """
+    result = ExperimentResult(
+        name="fig12_shuffle_ablation",
+        notes=(
+            "paper best scheme: small->Direct, medium->Remote (Direct +25%), "
+            "large->Local (Direct +108.3%, Remote +47.9%)"
+        ),
+    )
+    # Congestion constants are calibrated against this experiment's own
+    # cluster (the paper ran it on its large cluster with background load).
+    config = SimConfig()
+    config.network.reference_machines = n_machines
+    schemes = (ShuffleScheme.DIRECT, ShuffleScheme.LOCAL, ShuffleScheme.REMOTE)
+    for category in ("small", "medium", "large"):
+        jobs = traces.shuffle_class_jobs(category, n_jobs=n_jobs)
+        times: dict[str, float] = {}
+        for scheme in schemes:
+            policy = swift_policy(name=f"swift_{scheme.value}", shuffle=scheme)
+            results, _ = run_jobs(
+                policy, jobs, n_machines=n_machines,
+                executors_per_machine=executors_per_machine,
+                config=config.copy(),
+            )
+            times[scheme.value] = mean_latency(results)
+        base = times["direct"]
+        paper = PAPER["fig12"][category]  # type: ignore[index]
+        result.add(
+            shuffle_class=category,
+            direct=times["direct"] / base,
+            local=times["local"] / base,
+            remote=times["remote"] / base,
+            paper_direct=paper["direct"],
+            paper_local=paper["local"],
+            paper_remote=paper["remote"],
+        )
+    return result
+
+
+def adaptive_shuffle_envelope(
+    n_jobs: int = 8, n_machines: int = 200, executors_per_machine: int = 16
+) -> ExperimentResult:
+    """Ablation: adaptive selection tracks the best fixed scheme per class."""
+    result = ExperimentResult(name="adaptive_shuffle_envelope")
+    config = SimConfig()
+    config.network.reference_machines = n_machines
+    schemes = (
+        ShuffleScheme.DIRECT,
+        ShuffleScheme.LOCAL,
+        ShuffleScheme.REMOTE,
+        ShuffleScheme.ADAPTIVE,
+    )
+    for category in ("small", "medium", "large"):
+        jobs = traces.shuffle_class_jobs(category, n_jobs=n_jobs)
+        times: dict[str, float] = {}
+        for scheme in schemes:
+            policy = swift_policy(name=f"swift_{scheme.value}", shuffle=scheme)
+            results, _ = run_jobs(
+                policy, jobs, n_machines=n_machines,
+                executors_per_machine=executors_per_machine,
+                config=config.copy(),
+            )
+            times[scheme.value] = mean_latency(results)
+        fixed_best = min(times["direct"], times["local"], times["remote"])
+        result.add(
+            shuffle_class=category,
+            adaptive=times["adaptive"],
+            best_fixed=fixed_best,
+            overhead_pct=100.0 * (times["adaptive"] / fixed_best - 1.0),
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — Q13 job details
+# ----------------------------------------------------------------------
+
+def fig13_q13_details() -> ExperimentResult:
+    """The Q13 stage table (Fig. 13) plus our DAG's realised structure."""
+    result = ExperimentResult(name="fig13_q13_details")
+    dag = tpch.query_dag(13)
+    ours = {s.name: s for s in dag.stages.values()}
+    for row in tpch.Q13_DETAILS:
+        stage = str(row["stage"])
+        built = ours.get(stage)
+        result.add(
+            stage=stage,
+            paper_tasks=row["tasks"],
+            built_tasks=built.task_count if built else 0,
+            input_records_per_task=row["input_records_per_task"],
+            input_size_per_task=row["input_size_per_task"],
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figs. 14 & 15 — fault tolerance
+# ----------------------------------------------------------------------
+
+#: Fig. 14's injection schedule: (normalized time, target stage of Q13).
+FIG14_INJECTIONS: tuple[tuple[float, str], ...] = (
+    (0.2, "M2"),
+    (0.4, "J3"),
+    (0.6, "R4"),
+    (0.8, "R5"),
+    (0.98, "R6"),
+)
+
+
+def fig14_fault_injection(scale: float = 1.0) -> ExperimentResult:
+    """Single-failure injections into Q13, Swift vs job restart (Fig. 14)."""
+    baseline = run_single(swift_policy(), tpch.query_job(13, scale)).metrics.run_time
+    result = ExperimentResult(
+        name="fig14_fault_injection",
+        notes="paper: Swift slowdown <10% for all injections; restart up to ~100%",
+    )
+    for fraction, stage in FIG14_INJECTIONS:
+        spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage=stage, at_fraction=fraction)
+        swift_t = run_single(
+            swift_policy(), tpch.query_job(13, scale),
+            failure_plan=FailurePlan([spec]), reference_duration=baseline,
+        ).metrics.run_time
+        restart_t = run_single(
+            restart_policy(), tpch.query_job(13, scale),
+            failure_plan=FailurePlan([spec]), reference_duration=baseline,
+        ).metrics.run_time
+        result.add(
+            inject_at=round(100 * fraction),
+            stage=stage,
+            swift_slowdown_pct=100.0 * (swift_t / baseline - 1.0),
+            restart_slowdown_pct=100.0 * (restart_t / baseline - 1.0),
+        )
+    return result
+
+
+def fig15_trace_failures(
+    n_jobs: int = 200, failure_rate: float = 0.9, seed: int = 17
+) -> ExperimentResult:
+    """Trace replay with trace-calibrated failures (Fig. 15).
+
+    Failures strike at a Weibull-sampled fraction of each job's own
+    runtime (Section V-F: ~50% of failures within 30s, 90% within 200s);
+    nearly every job suffers one, which is what makes whole-job restart
+    average a ~45% slowdown in the paper.
+    """
+    jobs = traces.generate_trace(
+        traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=0.3)
+    )
+    plan = sample_trace_failures(
+        [j.job_id for j in jobs], failure_rate, random.Random(seed)
+    )
+    base_results, _ = run_jobs(swift_policy(), jobs)
+    base = {r.job_id: r.metrics.latency for r in base_results}
+    result = ExperimentResult(
+        name="fig15_trace_failures",
+        notes="paper: job restart +45% average slowdown; Swift fine-grained +5%",
+    )
+    for policy in (swift_policy(), restart_policy()):
+        results, _ = run_jobs(
+            policy, jobs, failure_plan=plan, reference_duration=base
+        )
+        slowdowns = [
+            100.0 * (r.metrics.latency / base[r.job_id] - 1.0)
+            for r in results
+            if base.get(r.job_id, 0) > 0
+        ]
+        summary = four_quartile_summary(slowdowns)
+        result.add(
+            policy=policy.name,
+            mean_slowdown_pct=summary["iq_mean"],
+            median_slowdown_pct=summary["median"],
+            q3_slowdown_pct=summary["q3"],
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 16 — scalability
+# ----------------------------------------------------------------------
+
+def scalability_workload(
+    n_jobs: int = 1200, tasks_per_stage: int = 120, work_seconds: float = 6.0,
+    seed: int = 23,
+) -> list[Job]:
+    """A wide, short-task batch with parallelism far beyond 140k executors,
+    matching "the workload is generated according to the production traces"
+    (many concurrent small jobs)."""
+    rng = random.Random(seed)
+    config = traces.TraceConfig(n_jobs=n_jobs, blocking_probability=0.4, seed=seed)
+    jobs: list[Job] = []
+    for i in range(n_jobs):
+        job = traces.generate_job(
+            rng, f"scale_{i:05d}", config, submit_time=0.0,
+            n_stages=rng.choice((1, 2, 2, 3)),
+        )
+        for stage in job.dag.stages.values():
+            total_out = stage.output_bytes_per_task * stage.task_count
+            total_scan = stage.scan_bytes_per_task * stage.task_count
+            stage.task_count = max(8, int(tasks_per_stage * rng.uniform(0.5, 1.5)))
+            # Preserve per-stage data volumes when widening the stage.
+            stage.output_bytes_per_task = total_out / stage.task_count
+            stage.scan_bytes_per_task = total_scan / stage.task_count
+            stage.work_seconds_per_task = work_seconds * rng.uniform(0.5, 1.5)
+        jobs.append(job)
+    return jobs
+
+
+def fig16_scalability(
+    executor_counts: Sequence[int] = (10_000, 20_000, 40_000, 80_000, 140_000),
+    n_machines: int = 2000,
+    n_jobs: int = 2500,
+    tasks_per_stage: int = 120,
+    work_seconds: float = 4.0,
+) -> ExperimentResult:
+    """Strong scaling: same workload, growing executor pool (Fig. 16).
+
+    Strong scaling to 14x requires the batch's total work to dwarf any
+    single job's critical path (the paper replays a large production
+    workload), hence the default of thousands of short wide jobs.
+    """
+    result = ExperimentResult(
+        name="fig16_scalability",
+        notes="paper: near-linear speedup from 10,000 to 140,000 executors",
+    )
+    for count in executor_counts:
+        per_machine = max(1, count // n_machines)
+        jobs = scalability_workload(
+            n_jobs=n_jobs, tasks_per_stage=tasks_per_stage,
+            work_seconds=work_seconds,
+        )
+        results, _ = run_jobs(
+            swift_policy(), jobs, n_machines=n_machines,
+            executors_per_machine=per_machine,
+        )
+        result.add(executors=count, makespan_s=makespan(results))
+    base = float(result.rows[0]["makespan_s"])  # type: ignore[arg-type]
+    base_count = executor_counts[0]
+    for row in result.rows:
+        row["speedup"] = base / float(row["makespan_s"])  # type: ignore[arg-type]
+        row["ideal"] = float(row["executors"]) / base_count  # type: ignore[arg-type]
+    return result

@@ -1,0 +1,204 @@
+"""Markdown report generation: regenerate EXPERIMENTS.md from live runs.
+
+``build_report`` runs every experiment (optionally at reduced scale) and
+renders a paper-vs-measured markdown document.  The repository's checked-in
+EXPERIMENTS.md is produced by::
+
+    python -m repro report --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from . import ablations, figures
+from .harness import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One experiment in the report: runner plus its paper context."""
+
+    key: str
+    title: str
+    paper_claim: str
+    runner: Callable[[], ExperimentResult]
+
+
+def _sections(quick: bool) -> list[ReportSection]:
+    """The full experiment list; ``quick`` shrinks workload sizes."""
+    n_trace = 200 if quick else 400
+    return [
+        ReportSection(
+            "fig3", "Fig. 3 — IdleRatio under gang scheduling",
+            "average IdleRatio of 3.81 / 13.15 / 14.45 / 14.92 % on four "
+            "production clusters",
+            lambda: figures.fig3_idle_ratio(n_jobs=80 if quick else 120),
+        ),
+        ReportSection(
+            "fig8", "Fig. 8 — trace characteristics",
+            "average run time 30 s; >90 % of jobs within 120 s; >80 % of "
+            "jobs with <=80 tasks and <=4 stages",
+            lambda: figures.fig8_trace_characteristics(n_jobs=600 if quick else 1500),
+        ),
+        ReportSection(
+            "fig9a", "Fig. 9(a) — TPC-H, Swift vs Spark",
+            "total speedup of 2.11x over tuned Spark SQL 2.4.6 on 1 TB",
+            lambda: figures.fig9a_tpch(),
+        ),
+        ReportSection(
+            "fig9b", "Fig. 9(b) — Q9 4-phase breakdown",
+            "Spark: >71 s launching critical tasks; disk shuffle write/read "
+            "137.8 s / 133.9 s. Swift: shuffle read 8.92 s, write 9.61 s",
+            lambda: figures.fig9b_q9_phases(),
+        ),
+        ReportSection(
+            "table1", "Table I — Terasort",
+            "speedups 3.07 / 3.96 / 7.06 / 14.18 for 250^2..1500^2; Spark "
+            "time shoots up past 1000^2, Swift grows only slightly",
+            lambda: figures.table1_terasort(),
+        ),
+        ReportSection(
+            "fig10", "Fig. 10 — running executors replaying the trace",
+            "Swift and Bubble finish all jobs in 240 s and 296 s — speedups "
+            "of 2.44x and 1.98x over JetScope",
+            lambda: _fig10_summary(n_jobs=n_trace),
+        ),
+        ReportSection(
+            "fig11", "Fig. 11 — normalized latency CDF",
+            "more than 60 % of JetScope jobs at >=2x Swift's latency; "
+            "Bubble tracks Swift closely",
+            lambda: figures.fig11_latency_cdf(n_jobs=n_trace),
+        ),
+        ReportSection(
+            "fig12", "Fig. 12 — shuffle-scheme ablation",
+            "best scheme per class: small->Direct (Local +4 %, Remote +3 %); "
+            "medium->Remote (Direct +25 %, Local +3.8 %); large->Local "
+            "(Direct +108.3 %, Remote +47.9 %)",
+            lambda: figures.fig12_shuffle_ablation(n_jobs=6 if quick else 8),
+        ),
+        ReportSection(
+            "fig13", "Fig. 13 — TPC-H Q13 job details",
+            "stage/task table of Q13 (M1: 498 tasks ... R6: 30 records)",
+            figures.fig13_q13_details,
+        ),
+        ReportSection(
+            "fig14", "Fig. 14 — single-failure injection into Q13",
+            "Swift slows down <10 % for every injection (0 at t=20); job "
+            "restart pays roughly the injection time again",
+            figures.fig14_fault_injection,
+        ),
+        ReportSection(
+            "fig15", "Fig. 15 — trace replay with real-world failures",
+            "job restart slows execution by 45 % on average; Swift's "
+            "fine-grained recovery by 5 %",
+            lambda: figures.fig15_trace_failures(n_jobs=120 if quick else 200),
+        ),
+        ReportSection(
+            "fig16", "Fig. 16 — scalability (strong scaling)",
+            "near-linear speedup from 10,000 to 140,000 executors",
+            lambda: figures.fig16_scalability(
+                executor_counts=(10_000, 20_000, 40_000, 80_000, 140_000),
+                n_jobs=1200 if quick else 2500,
+            ),
+        ),
+        ReportSection(
+            "ablation_partitioning", "Ablation — unit of scheduling",
+            "(beyond the paper) graphlets vs whole-job vs per-stage vs bubbles",
+            lambda: ablations.partitioning_ablation(n_jobs=100 if quick else 150),
+        ),
+        ReportSection(
+            "ablation_adaptive", "Ablation — adaptive shuffle envelope",
+            "(beyond the paper) adaptive selection tracks the best fixed scheme",
+            lambda: figures.adaptive_shuffle_envelope(n_jobs=4 if quick else 6),
+        ),
+        ReportSection(
+            "ablation_heartbeat", "Ablation — heartbeat interval",
+            "(beyond the paper) Section IV-A's detection-latency trade-off",
+            ablations.heartbeat_interval_ablation,
+        ),
+        ReportSection(
+            "ablation_cache", "Ablation — Cache Worker memory",
+            "(beyond the paper) LRU spill engages only under severe pressure",
+            lambda: ablations.cache_memory_ablation(),
+        ),
+        ReportSection(
+            "ablation_submission", "Ablation — graphlet submission order",
+            "(beyond the paper) Section III-A2's conservative-order trade-off",
+            ablations.submission_order_ablation,
+        ),
+        ReportSection(
+            "ablation_failure_rate", "Ablation — failure-rate sweep",
+            "(beyond the paper) degradation under increasing failure rates",
+            lambda: ablations.failure_rate_sweep(n_jobs=80 if quick else 120),
+        ),
+    ]
+
+
+def _fig10_summary(n_jobs: int) -> ExperimentResult:
+    spans = figures.fig10_makespans(n_jobs=n_jobs)
+    result = ExperimentResult(
+        name="fig10_makespans",
+        notes="paper: Swift 240s, Bubble 296s; 2.44x / 1.98x over JetScope",
+    )
+    for name in ("swift", "bubble", "jetscope"):
+        result.add(
+            system=name,
+            makespan_s=spans[name],
+            speedup_over_jetscope=spans["jetscope"] / spans[name],
+        )
+    return result
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    if not result.rows:
+        return "_(no rows)_"
+    keys = list(result.rows[0].keys())
+    lines = ["| " + " | ".join(keys) + " |",
+             "|" + "|".join("---" for _ in keys) + "|"]
+    for row in result.rows:
+        cells = []
+        for key in keys:
+            value = row.get(key)
+            cells.append(f"{value:.2f}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def build_report(quick: bool = False, echo: Callable[[str], None] | None = None) -> str:
+    """Run every experiment and render the EXPERIMENTS.md document."""
+    sections = _sections(quick)
+    parts = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `python -m repro report"
+        + (" --quick" if quick else "") + "`.",
+        "",
+        "Every table and figure of the paper's evaluation (Section V), "
+        "regenerated on the simulator, plus six ablations.  Absolute times "
+        "differ from the paper (our substrate is a calibrated simulator, "
+        "not Alibaba's testbed); the reproduction targets are *shapes*: "
+        "who wins, by roughly what factor, and where crossovers fall.  "
+        "See DESIGN.md for the substitution inventory.",
+        "",
+    ]
+    for section in sections:
+        if echo:
+            echo(f"running {section.key} ...")
+        started = time.time()
+        result = section.runner()
+        elapsed = time.time() - started
+        parts.append(f"## {section.title}")
+        parts.append("")
+        parts.append(f"**Paper:** {section.paper_claim}.")
+        parts.append("")
+        parts.append(_markdown_table(result))
+        parts.append("")
+        if result.notes:
+            parts.append(f"_{result.notes}_")
+            parts.append("")
+        parts.append(f"_(generated in {elapsed:.1f}s)_")
+        parts.append("")
+    return "\n".join(parts)

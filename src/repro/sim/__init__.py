@@ -1,0 +1,59 @@
+"""Cluster simulation substrate: event engine, machines, network, disk, faults."""
+
+from .cluster import Cluster, Executor, ExecutorState, Machine, MachineState
+from .config import (
+    DEFAULT_CONFIG,
+    AdminConfig,
+    CacheWorkerConfig,
+    DiskConfig,
+    ExecutorConfig,
+    NetworkConfig,
+    ShuffleConfig,
+    SimConfig,
+    GiB,
+    KiB,
+    MiB,
+)
+from .disk import DiskModel
+from .engine import Event, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, SimulationError, Simulator
+from .failures import (
+    FailureKind,
+    FailurePlan,
+    FailureSpec,
+    sample_failure_time,
+    sample_trace_failures,
+)
+from .network import NetworkModel, TransferEstimate
+
+__all__ = [
+    "AdminConfig",
+    "CacheWorkerConfig",
+    "Cluster",
+    "DEFAULT_CONFIG",
+    "DiskConfig",
+    "DiskModel",
+    "Event",
+    "Executor",
+    "ExecutorConfig",
+    "ExecutorState",
+    "FailureKind",
+    "FailurePlan",
+    "FailureSpec",
+    "GiB",
+    "KiB",
+    "Machine",
+    "MachineState",
+    "MiB",
+    "NetworkConfig",
+    "NetworkModel",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "ShuffleConfig",
+    "SimConfig",
+    "SimulationError",
+    "Simulator",
+    "TransferEstimate",
+    "sample_failure_time",
+    "sample_trace_failures",
+]

@@ -1,0 +1,262 @@
+"""Simulated cluster: machines, executors, and health states.
+
+Executors are pre-launched slots ("the worker machine provides computing
+resources for tasks in terms of Swift Executors, which are pre-launched when
+Swift starts", Section II-B).  Machines carry the health state machine used
+by failure detection (Section IV-A): HEALTHY -> UNHEALTHY -> READ_ONLY, or
+directly to DEAD on a machine crash.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+from .config import SimConfig
+from .disk import DiskModel
+from .network import NetworkModel
+
+
+class MachineState(enum.Enum):
+    """Machine health states of Section IV-A."""
+    HEALTHY = "healthy"
+    #: Flagged by the health monitor; still running but suspect.
+    UNHEALTHY = "unhealthy"
+    #: No new tasks scheduled; existing tasks drain (Section IV-A).
+    READ_ONLY = "read_only"
+    DEAD = "dead"
+
+
+class ExecutorState(enum.Enum):
+    """Lifecycle of one pre-launched executor slot."""
+    IDLE = "idle"
+    ASSIGNED = "assigned"
+    RUNNING = "running"
+    REVOKED = "revoked"
+
+
+class Executor:
+    """One pre-launched executor slot on a machine."""
+
+    __slots__ = ("executor_id", "machine", "state", "current_task", "pid")
+
+    def __init__(self, executor_id: int, machine: "Machine") -> None:
+        self.executor_id = executor_id
+        self.machine = machine
+        self.state = ExecutorState.IDLE
+        #: Opaque handle to the task instance currently assigned/running.
+        self.current_task: Optional[object] = None
+        #: Simulated process id; bumped on every (re)launch so the Admin can
+        #: detect restarts from the self-report (Section IV-A).
+        self.pid = executor_id + 10_000
+
+    @property
+    def is_free(self) -> bool:
+        """True when idle on a machine that accepts tasks."""
+        return self.state == ExecutorState.IDLE and self.machine.accepts_tasks
+
+    def _transition(self, new_state: ExecutorState) -> None:
+        """Move to ``new_state``, keeping the machine's idle count exact."""
+        was_idle = self.state == ExecutorState.IDLE
+        now_idle = new_state == ExecutorState.IDLE
+        self.state = new_state
+        if was_idle and not now_idle:
+            self.machine._adjust_idle(-1)
+        elif now_idle and not was_idle:
+            self.machine._adjust_idle(+1)
+
+    def assign(self, task: object) -> None:
+        """Reserve this executor for a task (must be idle)."""
+        if self.state != ExecutorState.IDLE:
+            raise RuntimeError(f"executor {self.executor_id} is not idle ({self.state})")
+        self._transition(ExecutorState.ASSIGNED)
+        self.current_task = task
+
+    def start(self) -> None:
+        """Move an assigned executor to running."""
+        if self.state != ExecutorState.ASSIGNED:
+            raise RuntimeError(f"executor {self.executor_id} has no assigned task")
+        self._transition(ExecutorState.RUNNING)
+
+    def release(self) -> None:
+        """Return the executor to the idle pool."""
+        self.current_task = None
+        if self.state != ExecutorState.REVOKED:
+            self._transition(ExecutorState.IDLE)
+
+    def relaunch(self) -> None:
+        """Simulate a process restart: new PID, back to idle."""
+        self.pid += 1_000_000
+        self.current_task = None
+        self._transition(ExecutorState.IDLE)
+
+    def revoke(self) -> None:
+        """Withdraw the executor permanently (machine death)."""
+        self._transition(ExecutorState.REVOKED)
+        self.current_task = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Executor {self.executor_id} m{self.machine.machine_id} {self.state.value}>"
+
+
+class Machine:
+    """One worker machine with a NIC, disks, executors, and a Cache Worker."""
+
+    def __init__(self, machine_id: int, n_executors: int) -> None:
+        self.machine_id = machine_id
+        self.state = MachineState.HEALTHY
+        #: Backref set by Cluster so idle counts aggregate in O(1).
+        self._cluster: Optional["Cluster"] = None
+        self.idle_count = n_executors
+        self.executors = [
+            Executor(machine_id * 10_000 + i, self) for i in range(n_executors)
+        ]
+        #: Attached by the runtime (a ``repro.core.cache_worker.CacheWorker``).
+        self.cache_worker: Optional[object] = None
+        #: Running count of tasks currently in a network/disk-heavy phase;
+        #: used for contention estimates.
+        self.active_transfers = 0
+        #: Recent task failures, used by the health monitor.
+        self.recent_failures: list[float] = []
+
+    @property
+    def accepts_tasks(self) -> bool:
+        """True when the scheduler may place new tasks here."""
+        return self.state == MachineState.HEALTHY
+
+    @property
+    def alive(self) -> bool:
+        """True unless the machine is dead."""
+        return self.state != MachineState.DEAD
+
+    def _adjust_idle(self, delta: int) -> None:
+        self.idle_count += delta
+        if self._cluster is not None and self.accepts_tasks:
+            self._cluster._free_count += delta
+
+    def free_executors(self) -> list[Executor]:
+        """Idle executors, empty when the machine is quarantined."""
+        if not self.accepts_tasks:
+            return []
+        return [e for e in self.executors if e.state == ExecutorState.IDLE]
+
+    def busy_count(self) -> int:
+        """Executors currently assigned or running."""
+        return len(self.executors) - self.idle_count
+
+    def load(self) -> float:
+        """Fraction of executors occupied; the machine-load signal used by
+        the Resource Scheduler to avoid scheduling flock (Section III-A2)."""
+        if not self.executors:
+            return 1.0
+        return self.busy_count() / len(self.executors)
+
+    def _withdraw_from_pool(self) -> None:
+        """Remove this machine's idle executors from the cluster's pool
+        (called when the machine stops accepting tasks)."""
+        if self._cluster is not None and self.accepts_tasks:
+            self._cluster._free_count -= self.idle_count
+
+    def mark_read_only(self) -> None:
+        """Quarantine: drain existing tasks, accept no new ones."""
+        if self.state == MachineState.HEALTHY or self.state == MachineState.UNHEALTHY:
+            self._withdraw_from_pool()
+            self.state = MachineState.READ_ONLY
+
+    def mark_dead(self) -> None:
+        """Kill the machine and revoke all of its executors."""
+        if self.state != MachineState.DEAD:
+            self._withdraw_from_pool()
+            self.state = MachineState.DEAD
+            for executor in self.executors:
+                executor.revoke()
+
+    def record_failure(self, now: float, window: float) -> int:
+        """Record a task failure; return the count within ``window`` seconds."""
+        self.recent_failures.append(now)
+        cutoff = now - window
+        self.recent_failures = [t for t in self.recent_failures if t >= cutoff]
+        return len(self.recent_failures)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Machine {self.machine_id} {self.state.value} {self.busy_count()}/{len(self.executors)}>"
+
+
+class Cluster:
+    """A collection of machines plus the shared network and disk models."""
+
+    def __init__(self, machines: list[Machine], config: SimConfig) -> None:
+        if not machines:
+            raise ValueError("a cluster needs at least one machine")
+        config.validate()
+        self.machines = machines
+        self.config = config
+        self.network = NetworkModel(config.network, n_machines=len(machines))
+        self.disk = DiskModel(config.disk)
+        self._free_count = 0
+        for machine in machines:
+            machine._cluster = self
+            if machine.accepts_tasks:
+                self._free_count += machine.idle_count
+
+    @classmethod
+    def build(
+        cls,
+        n_machines: int,
+        executors_per_machine: Optional[int] = None,
+        config: Optional[SimConfig] = None,
+    ) -> "Cluster":
+        """Construct a homogeneous cluster."""
+        config = config or SimConfig()
+        per_machine = (
+            config.executors_per_machine
+            if executors_per_machine is None
+            else executors_per_machine
+        )
+        if n_machines < 1 or per_machine < 1:
+            raise ValueError("cluster dimensions must be positive")
+        machines = [Machine(i, per_machine) for i in range(n_machines)]
+        return cls(machines, config)
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def n_machines(self) -> int:
+        """Number of machines in the cluster."""
+        return len(self.machines)
+
+    def alive_machines(self) -> list[Machine]:
+        """Machines that have not died."""
+        return [m for m in self.machines if m.alive]
+
+    def schedulable_machines(self) -> list[Machine]:
+        """Machines accepting new tasks (healthy only)."""
+        return [m for m in self.machines if m.accepts_tasks]
+
+    def total_executors(self) -> int:
+        """Executor slots across all machines."""
+        return sum(len(m.executors) for m in self.machines)
+
+    def free_executor_count(self) -> int:
+        """Idle executors on machines that accept tasks (O(1))."""
+        return self._free_count
+
+    def busy_executor_count(self) -> int:
+        """Occupied executors on living machines."""
+        return sum(m.busy_count() for m in self.machines if m.alive)
+
+    def iter_executors(self) -> Iterable[Executor]:
+        """Iterate every executor in machine order."""
+        for machine in self.machines:
+            yield from machine.executors
+
+    def machines_used_by(self, executors: Iterable[Executor]) -> int:
+        """Distinct machine count among ``executors`` (the Y of Section III-B)."""
+        return len({e.machine.machine_id for e in executors})
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cluster {self.n_machines} machines, "
+            f"{self.total_executors()} executors, {self.free_executor_count()} free>"
+        )

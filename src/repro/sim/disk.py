@@ -1,0 +1,70 @@
+"""Spinning-disk model used by disk-based shuffle and Cache Worker spill.
+
+Disk shuffle (Spark and Bubble Execution baselines) materialises one file per
+(producer task, consumer partition) pair, so for wide shuffles the per-file
+overhead dominates; the Cache Worker spill path writes large sequential
+chunks, so it pays almost no such overhead (Section III-B: "since this can be
+done in large data chunk, it would not hurt performance greatly").
+"""
+
+from __future__ import annotations
+
+from .config import DiskConfig
+
+
+class DiskModel:
+    """Per-machine disk cost estimator with simple spindle parallelism."""
+
+    def __init__(self, config: DiskConfig) -> None:
+        config.validate()
+        self.config = config
+
+    def machine_bandwidth(self, concurrent_tasks: int = 1) -> float:
+        """Aggregate sequential bandwidth available to one task.
+
+        ``concurrent_tasks`` tasks on the machine share the spindles; a task
+        can use at most one spindle's worth of throughput.
+        """
+        if concurrent_tasks < 1:
+            raise ValueError("concurrent_tasks must be >= 1")
+        cfg = self.config
+        total = cfg.sequential_bandwidth * cfg.disks_per_machine
+        return min(cfg.sequential_bandwidth, total / concurrent_tasks)
+
+    def write_time(
+        self,
+        bytes_to_write: float,
+        n_files: int = 1,
+        concurrent_tasks: int = 1,
+    ) -> float:
+        """Time to write ``bytes_to_write`` spread over ``n_files`` files."""
+        if bytes_to_write < 0 or n_files < 0:
+            raise ValueError("bytes and file count must be non-negative")
+        bandwidth = self.machine_bandwidth(concurrent_tasks)
+        return bytes_to_write / bandwidth + n_files * self.config.per_file_overhead
+
+    def read_time(
+        self,
+        bytes_to_read: float,
+        n_files: int = 1,
+        concurrent_tasks: int = 1,
+        random_access: bool = False,
+    ) -> float:
+        """Time to read ``bytes_to_read`` from ``n_files`` files.
+
+        ``random_access`` applies the random-read penalty; shuffle reads that
+        gather one small fragment from many map outputs are random by nature.
+        """
+        if bytes_to_read < 0 or n_files < 0:
+            raise ValueError("bytes and file count must be non-negative")
+        bandwidth = self.machine_bandwidth(concurrent_tasks)
+        if random_access:
+            bandwidth /= self.config.random_penalty
+        return bytes_to_read / bandwidth + n_files * self.config.per_file_overhead
+
+    def spill_time(self, bytes_to_spill: float) -> float:
+        """Sequential large-chunk spill used by the Cache Worker LRU policy."""
+        if bytes_to_spill < 0:
+            raise ValueError("bytes_to_spill must be non-negative")
+        # Spills stream at full sequential bandwidth in large chunks.
+        return bytes_to_spill / self.config.sequential_bandwidth

@@ -1,0 +1,111 @@
+"""The Swift SQL-like front end (Fig. 1).
+
+Pipeline: SQL text -> :func:`parse` -> :func:`plan_statement` (logical plan)
+-> :class:`PhysicalPlanner` / :func:`compile_sql` (Swift job DAG).  A
+row-level :class:`QueryExecutor` over :func:`generate_database` data lets
+examples check query *answers*, not just schedules.
+"""
+
+from .ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from .catalog import Catalog, CatalogError, Column, DEFAULT_CATALOG, TableSchema, TPCH_TABLES
+from .datagen import generate_database
+from .executor import ExecutionError, QueryExecutor, eval_expr, run_query
+from .lexer import LexError, Token, TokenKind, tokenize
+from .logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalSubquery,
+    PlanError,
+    explain,
+    plan_statement,
+    scans_in,
+)
+from .parser import ParseError, parse
+from .physical import PhysicalPlanner, compile_sql
+
+__all__ = [
+    "BinaryOp",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnRef",
+    "DEFAULT_CATALOG",
+    "ExecutionError",
+    "Expr",
+    "FunctionCall",
+    "JoinClause",
+    "LexError",
+    "Literal",
+    "LogicalAggregate",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalNode",
+    "LogicalProject",
+    "LogicalScan",
+    "LogicalSort",
+    "LogicalSubquery",
+    "OrderItem",
+    "ParseError",
+    "PhysicalPlanner",
+    "PlanError",
+    "QueryExecutor",
+    "SelectItem",
+    "SelectStatement",
+    "Star",
+    "SubqueryRef",
+    "TPCH_TABLES",
+    "TableRef",
+    "TableSchema",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "compile_sql",
+    "eval_expr",
+    "explain",
+    "generate_database",
+    "parse",
+    "plan_statement",
+    "run_query",
+    "scans_in",
+    "tokenize",
+]
+
+#: The Fig. 1 query: TPC-H Q9 in the Swift programming language.
+FIG1_QUERY = """
+select nation, o_year, sum(amount) as sum_profit
+from (
+    select n_name as nation, substr(o_orderdate, 1, 4) as o_year,
+        l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount
+    from tpch_supplier s
+    join tpch_lineitem l on s.s_suppkey = l.l_suppkey
+    join tpch_partsupp ps on ps.ps_suppkey = l.l_suppkey and ps.ps_partkey = l.l_partkey
+    join tpch_part p on p.p_partkey = l.l_partkey
+    join tpch_orders o on o.o_orderkey = l.l_orderkey
+    join tpch_nation n on s.s_nationkey = n.n_nationkey
+    where p_name like '%green%'
+)
+group by nation, o_year
+order by nation, o_year desc
+limit 999999;
+"""

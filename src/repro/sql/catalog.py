@@ -1,0 +1,148 @@
+"""Catalog: TPC-H schema and table statistics for planning.
+
+Row counts follow the TPC-H specification at scale factor 1; the physical
+planner multiplies by the configured scale factor (1000 = the paper's 1 TB
+run) to size stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name and coarse data type."""
+    name: str
+    dtype: str  # "int" | "float" | "str" | "date"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table's columns plus its planning statistics."""
+    name: str
+    columns: tuple[Column, ...]
+    #: Rows at scale factor 1.
+    base_rows: int
+    #: Average bytes per row on disk.
+    bytes_per_row: float
+
+    def column_names(self) -> list[str]:
+        """The column names in schema order."""
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """True when the schema contains ``name``."""
+        return any(c.name == name for c in self.columns)
+
+    def rows_at(self, scale_factor: float) -> int:
+        """Row count at a TPC-H scale factor (nation/region are fixed)."""
+        fixed = {"nation", "region"}
+        if self.name in fixed:
+            return self.base_rows
+        return max(1, int(self.base_rows * scale_factor))
+
+    def bytes_at(self, scale_factor: float) -> float:
+        """On-disk bytes at a TPC-H scale factor."""
+        return self.rows_at(scale_factor) * self.bytes_per_row
+
+
+def _cols(*specs: str) -> tuple[Column, ...]:
+    out = []
+    for spec in specs:
+        name, dtype = spec.split(":")
+        out.append(Column(name, dtype))
+    return tuple(out)
+
+
+TPCH_TABLES: dict[str, TableSchema] = {
+    "region": TableSchema(
+        "region", _cols("r_regionkey:int", "r_name:str", "r_comment:str"),
+        base_rows=5, bytes_per_row=80,
+    ),
+    "nation": TableSchema(
+        "nation",
+        _cols("n_nationkey:int", "n_name:str", "n_regionkey:int", "n_comment:str"),
+        base_rows=25, bytes_per_row=90,
+    ),
+    "supplier": TableSchema(
+        "supplier",
+        _cols("s_suppkey:int", "s_name:str", "s_address:str", "s_nationkey:int",
+              "s_phone:str", "s_acctbal:float", "s_comment:str"),
+        base_rows=10_000, bytes_per_row=140,
+    ),
+    "customer": TableSchema(
+        "customer",
+        _cols("c_custkey:int", "c_name:str", "c_address:str", "c_nationkey:int",
+              "c_phone:str", "c_acctbal:float", "c_mktsegment:str", "c_comment:str"),
+        base_rows=150_000, bytes_per_row=160,
+    ),
+    "part": TableSchema(
+        "part",
+        _cols("p_partkey:int", "p_name:str", "p_mfgr:str", "p_brand:str",
+              "p_type:str", "p_size:int", "p_container:str", "p_retailprice:float",
+              "p_comment:str"),
+        base_rows=200_000, bytes_per_row=120,
+    ),
+    "partsupp": TableSchema(
+        "partsupp",
+        _cols("ps_partkey:int", "ps_suppkey:int", "ps_availqty:int",
+              "ps_supplycost:float", "ps_comment:str"),
+        base_rows=800_000, bytes_per_row=145,
+    ),
+    "orders": TableSchema(
+        "orders",
+        _cols("o_orderkey:int", "o_custkey:int", "o_orderstatus:str",
+              "o_totalprice:float", "o_orderdate:str", "o_orderpriority:str",
+              "o_clerk:str", "o_shippriority:int", "o_comment:str"),
+        base_rows=1_500_000, bytes_per_row=115,
+    ),
+    "lineitem": TableSchema(
+        "lineitem",
+        _cols("l_orderkey:int", "l_partkey:int", "l_suppkey:int",
+              "l_linenumber:int", "l_quantity:float", "l_extendedprice:float",
+              "l_discount:float", "l_tax:float", "l_returnflag:str",
+              "l_linestatus:str", "l_shipdate:str", "l_commitdate:str",
+              "l_receiptdate:str", "l_shipinstruct:str", "l_shipmode:str",
+              "l_comment:str"),
+        base_rows=6_000_000, bytes_per_row=125,
+    ),
+}
+
+
+class CatalogError(KeyError):
+    """Unknown table or ambiguous column."""
+
+
+@dataclass
+class Catalog:
+    """A set of table schemas plus lookup helpers.
+
+    The default catalog holds the TPC-H schema; tests and examples may
+    register extra tables.  Table names are matched with or without a
+    ``tpch_`` prefix, matching Fig. 1's naming (``tpch_lineitem`` etc.).
+    """
+
+    tables: dict[str, TableSchema] = field(default_factory=lambda: dict(TPCH_TABLES))
+
+    def resolve_table(self, name: str) -> TableSchema:
+        """Look up a table, accepting the Fig. 1 ``tpch_`` prefix."""
+        key = name.lower()
+        if key.startswith("tpch_"):
+            key = key[len("tpch_"):]
+        if key not in self.tables:
+            raise CatalogError(f"unknown table {name!r}")
+        return self.tables[key]
+
+    def register(self, schema: TableSchema) -> None:
+        """Add or replace a table schema."""
+        self.tables[schema.name] = schema
+
+    def find_column(self, column: str) -> list[str]:
+        """Tables containing ``column`` (for unqualified resolution)."""
+        return [
+            name for name, schema in self.tables.items() if schema.has_column(column)
+        ]
+
+
+DEFAULT_CATALOG = Catalog()

@@ -1,0 +1,123 @@
+"""Tokenizer for the Swift SQL-like job-description language (Fig. 1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Token categories produced by the lexer."""
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    SEMICOLON = ";"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "group", "order", "by", "having",
+        "join", "inner", "left", "right", "outer", "on", "as", "and",
+        "or", "not", "like", "in", "between", "limit", "asc", "desc",
+        "distinct", "case", "when", "then", "else", "end", "is", "null",
+        "exists", "union", "all",
+    }
+)
+
+_OPERATORS = ("<>", "!=", ">=", "<=", "=", "<", ">", "+", "-", "/", "%", "||")
+
+
+class LexError(ValueError):
+    """Raised on unexpected input characters."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+    kind: TokenKind
+    text: str
+    position: int
+
+    @property
+    def lowered(self) -> str:
+        """The token text lower-cased (keywords compare case-insensitively)."""
+        return self.text.lower()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; always ends with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("--", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            end = i + 1
+            while end < n and source[end] != "'":
+                end += 1
+            if end >= n:
+                raise LexError(f"unterminated string literal at {i}")
+            tokens.append(Token(TokenKind.STRING, source[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            while end < n and (source[end].isdigit() or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    # A dot is part of the number only when followed by a digit.
+                    if end + 1 >= n or not source[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenKind.NUMBER, source[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[i:end]
+            kind = TokenKind.KEYWORD if text.lower() in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, i))
+            i = end
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, ch, i)); i += 1; continue
+        if ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ch, i)); i += 1; continue
+        if ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ch, i)); i += 1; continue
+        if ch == ".":
+            tokens.append(Token(TokenKind.DOT, ch, i)); i += 1; continue
+        if ch == "*":
+            tokens.append(Token(TokenKind.STAR, ch, i)); i += 1; continue
+        if ch == ";":
+            tokens.append(Token(TokenKind.SEMICOLON, ch, i)); i += 1; continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, op, i))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,347 @@
+"""Recursive-descent parser for the Swift SQL dialect.
+
+Covers the constructs Fig. 1 uses: SELECT lists with aliases and arithmetic,
+FROM with base tables and parenthesised subqueries, chained JOIN ... ON with
+multi-term conditions, WHERE with LIKE, GROUP BY, ORDER BY ... DESC, LIMIT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .ast import (
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Expr,
+    InList,
+    FunctionCall,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from .lexer import LexError, Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the source does not conform to the grammar."""
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        """The lookahead token."""
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        self._pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        return self.current.kind == TokenKind.KEYWORD and self.current.lowered in words
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._check_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise ParseError(
+                f"expected {word.upper()!r}, found {self.current.text!r} "
+                f"at position {self.current.position}"
+            )
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if self.current.kind != kind:
+            raise ParseError(
+                f"expected {kind.value}, found {self.current.text!r} "
+                f"at position {self.current.position}"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> SelectStatement:
+        """Parse a full SELECT statement up to EOF."""
+        statement = self._parse_select()
+        if self.current.kind == TokenKind.SEMICOLON:
+            self._advance()
+        self._expect(TokenKind.EOF)
+        return statement
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("select")
+        statement = SelectStatement()
+        statement.distinct = self._accept_keyword("distinct")
+        statement.select_items.append(self._parse_select_item())
+        while self.current.kind == TokenKind.COMMA:
+            self._advance()
+            statement.select_items.append(self._parse_select_item())
+        if self._accept_keyword("from"):
+            statement.from_table = self._parse_table_ref()
+            while self._check_keyword("join", "inner", "left", "right"):
+                statement.joins.append(self._parse_join())
+        if self._accept_keyword("where"):
+            statement.where = self._parse_expr()
+        if self._check_keyword("group"):
+            self._advance()
+            self._expect_keyword("by")
+            statement.group_by.append(self._parse_expr())
+            while self.current.kind == TokenKind.COMMA:
+                self._advance()
+                statement.group_by.append(self._parse_expr())
+        if self._accept_keyword("having"):
+            statement.having = self._parse_expr()
+        if self._check_keyword("order"):
+            self._advance()
+            self._expect_keyword("by")
+            statement.order_by.append(self._parse_order_item())
+            while self.current.kind == TokenKind.COMMA:
+                self._advance()
+                statement.order_by.append(self._parse_order_item())
+        if self._accept_keyword("limit"):
+            token = self._expect(TokenKind.NUMBER)
+            statement.limit = int(float(token.text))
+        return statement
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.current.kind == TokenKind.STAR:
+            self._advance()
+            return SelectItem(expr=Star())
+        expr = self._parse_expr()
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._expect(TokenKind.IDENT).text
+        elif self.current.kind == TokenKind.IDENT:
+            alias = self._advance().text
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expr=expr, descending=descending)
+
+    def _parse_table_ref(self) -> Union[TableRef, SubqueryRef]:
+        if self.current.kind == TokenKind.LPAREN:
+            self._advance()
+            subquery = self._parse_select()
+            self._expect(TokenKind.RPAREN)
+            alias = None
+            self._accept_keyword("as")
+            if self.current.kind == TokenKind.IDENT:
+                alias = self._advance().text
+            return SubqueryRef(query=subquery, alias=alias)
+        name = self._expect(TokenKind.IDENT).text
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect(TokenKind.IDENT).text
+        elif self.current.kind == TokenKind.IDENT:
+            alias = self._advance().text
+        return TableRef(name=name, alias=alias)
+
+    def _parse_join(self) -> JoinClause:
+        kind = "inner"
+        if self._accept_keyword("left"):
+            kind = "left"
+            self._accept_keyword("outer")
+        elif self._accept_keyword("right"):
+            kind = "right"
+            self._accept_keyword("outer")
+        elif self._accept_keyword("inner"):
+            kind = "inner"
+        self._expect_keyword("join")
+        table = self._parse_table_ref()
+        self._expect_keyword("on")
+        condition = self._parse_expr()
+        return JoinClause(kind=kind, table=table, condition=condition)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        if self.current.kind == TokenKind.OPERATOR and self.current.text in (
+            "=", "<>", "!=", "<", ">", "<=", ">=",
+        ):
+            op = self._advance().text
+            if op == "!=":
+                op = "<>"
+            return BinaryOp(op, left, self._parse_additive())
+        if self._check_keyword("like"):
+            self._advance()
+            return BinaryOp("like", left, self._parse_additive())
+        if self._check_keyword("in"):
+            self._advance()
+            return self._parse_in_list(left, negated=False)
+        if self._check_keyword("not"):
+            # "x NOT LIKE y" / "x NOT IN (...)"
+            save = self._pos
+            self._advance()
+            if self._accept_keyword("like"):
+                return UnaryOp("not", BinaryOp("like", left, self._parse_additive()))
+            if self._accept_keyword("in"):
+                return self._parse_in_list(left, negated=True)
+            self._pos = save
+        if self._check_keyword("between"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return BinaryOp(
+                "and", BinaryOp(">=", left, low), BinaryOp("<=", left, high)
+            )
+        if self._check_keyword("is"):
+            self._advance()
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            test = FunctionCall("is_null", (left,))
+            return UnaryOp("not", test) if negated else test
+        return left
+
+    def _parse_in_list(self, left: Expr, negated: bool) -> InList:
+        self._expect(TokenKind.LPAREN)
+        values = [self._parse_expr()]
+        while self.current.kind == TokenKind.COMMA:
+            self._advance()
+            values.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN)
+        return InList(expr=left, values=tuple(values), negated=negated)
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.current.kind == TokenKind.OPERATOR and self.current.text in ("+", "-", "||"):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while (
+            self.current.kind == TokenKind.STAR
+            or (self.current.kind == TokenKind.OPERATOR and self.current.text in ("/", "%"))
+        ):
+            op = "*" if self.current.kind == TokenKind.STAR else self.current.text
+            self._advance()
+            left = BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.current.kind == TokenKind.OPERATOR and self.current.text == "-":
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            value = float(token.text)
+            return Literal(int(value) if value.is_integer() and "." not in token.text else value)
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.kind == TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.kind == TokenKind.KEYWORD and token.lowered == "null":
+            self._advance()
+            return Literal(None)
+        if token.kind == TokenKind.KEYWORD and token.lowered == "case":
+            return self._parse_case()
+        if token.kind == TokenKind.IDENT:
+            return self._parse_name_or_call()
+        raise ParseError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+    def _parse_case(self) -> CaseExpr:
+        self._expect_keyword("case")
+        whens: list[tuple[Expr, Expr]] = []
+        while self._accept_keyword("when"):
+            condition = self._parse_expr()
+            self._expect_keyword("then")
+            whens.append((condition, self._parse_expr()))
+        if not whens:
+            raise ParseError("CASE needs at least one WHEN arm")
+        default = self._parse_expr() if self._accept_keyword("else") else None
+        self._expect_keyword("end")
+        return CaseExpr(whens=tuple(whens), default=default)
+
+    def _parse_name_or_call(self) -> Expr:
+        name = self._expect(TokenKind.IDENT).text
+        if self.current.kind == TokenKind.LPAREN:
+            self._advance()
+            distinct = self._accept_keyword("distinct")
+            args: list[Expr] = []
+            if self.current.kind == TokenKind.STAR:
+                self._advance()
+                args.append(Star())
+            elif self.current.kind != TokenKind.RPAREN:
+                args.append(self._parse_expr())
+                while self.current.kind == TokenKind.COMMA:
+                    self._advance()
+                    args.append(self._parse_expr())
+            self._expect(TokenKind.RPAREN)
+            return FunctionCall(name.lower(), tuple(args), distinct=distinct)
+        if self.current.kind == TokenKind.DOT:
+            self._advance()
+            if self.current.kind == TokenKind.STAR:
+                self._advance()
+                return Star(qualifier=name)
+            column = self._expect(TokenKind.IDENT).text
+            return ColumnRef(name=column, qualifier=name)
+        return ColumnRef(name=name)
+
+
+def parse(source: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    return Parser(tokens).parse_statement()

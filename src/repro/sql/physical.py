@@ -1,0 +1,218 @@
+"""Physical planner: logical plan -> Swift job DAG.
+
+Lowers a logical plan into the stage DAG the runtime executes.  Every scan
+becomes an M stage sized from catalog statistics; joins become J stages with
+``MergeJoin``+``MergeSort`` (sort-merge is Swift's default join strategy,
+which is why join stages are blocking, as in Fig. 4); aggregates and sorts
+become R stages; the top of the plan gets an ad-hoc sink.  Cardinalities
+flow bottom-up with textbook selectivity defaults.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.dag import Edge, JobDAG, Stage
+from ..core.operators import Operator, OperatorKind as K
+from .catalog import Catalog, DEFAULT_CATALOG
+from .logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalSubquery,
+    PlanError,
+)
+
+#: Default selectivities used by the cardinality estimator.
+FILTER_SELECTIVITY = 0.3
+JOIN_FANOUT = 0.8
+AGGREGATE_REDUCTION = 0.02
+
+#: Bytes of input one scan task handles (matches the workload generator).
+SCAN_SPLIT_BYTES = 800e6
+#: Rows one intermediate-stage task handles.
+ROWS_PER_TASK = 2_000_000.0
+
+
+@dataclass
+class _StageDraft:
+    """A stage under construction plus its output estimate."""
+
+    name: str
+    rows: float
+    bytes_out: float
+    stage: Stage
+
+
+@dataclass
+class PhysicalPlanner:
+    """Builds a :class:`JobDAG` from a logical plan."""
+
+    catalog: Catalog = field(default_factory=lambda: DEFAULT_CATALOG)
+    scale_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._stages: list[Stage] = []
+        self._edges: list[Edge] = []
+        self._counter = {"M": 0, "J": 0, "R": 0}
+
+    def plan(self, root: LogicalNode, job_id: str = "sql_job") -> JobDAG:
+        """Lower a logical plan into a validated Swift job DAG."""
+        self._stages, self._edges = [], []
+        self._counter = {"M": 0, "J": 0, "R": 0}
+        draft = self._lower(root)
+        sink = self._new_stage(
+            "R", tasks=1,
+            operators=(Operator(K.SHUFFLE_READ), Operator(K.ADHOC_SINK)),
+            rows=min(draft.rows, 1e6),
+            bytes_out=1e6,
+        )
+        self._edges.append(Edge(draft.name, sink.name))
+        dag = JobDAG(job_id, self._stages, self._edges)
+        dag.validate()
+        return dag
+
+    # ------------------------------------------------------------------
+    def _name(self, prefix: str) -> str:
+        self._counter[prefix] += 1
+        total = sum(self._counter.values())
+        return f"{prefix}{total}"
+
+    def _new_stage(
+        self,
+        prefix: str,
+        tasks: int,
+        operators: tuple[Operator, ...],
+        rows: float,
+        bytes_out: float,
+        scan_bytes: float = 0.0,
+    ) -> _StageDraft:
+        name = self._name(prefix)
+        stage = Stage(
+            name=name,
+            task_count=max(1, tasks),
+            operators=operators,
+            scan_bytes_per_task=scan_bytes / max(1, tasks),
+            output_bytes_per_task=bytes_out / max(1, tasks),
+        )
+        self._stages.append(stage)
+        return _StageDraft(name=name, rows=rows, bytes_out=bytes_out, stage=stage)
+
+    # ------------------------------------------------------------------
+    def _lower(self, node: LogicalNode) -> _StageDraft:
+        if isinstance(node, LogicalScan):
+            return self._lower_scan(node, selectivity=1.0)
+        if isinstance(node, LogicalFilter):
+            # Push filters into scans where possible; otherwise they ride
+            # along inside the child's stage (filters never block).
+            if isinstance(node.child, LogicalScan):
+                return self._lower_scan(node.child, selectivity=FILTER_SELECTIVITY)
+            child = self._lower(node.child)
+            child.rows *= FILTER_SELECTIVITY
+            child.bytes_out *= FILTER_SELECTIVITY
+            return child
+        if isinstance(node, LogicalSubquery):
+            return self._lower(node.child)
+        if isinstance(node, LogicalJoin):
+            left = self._lower(node.left)
+            right = self._lower(node.right)
+            rows = max(left.rows, right.rows) * JOIN_FANOUT
+            bytes_out = (left.bytes_out + right.bytes_out) * JOIN_FANOUT / 2
+            tasks = self._tasks_for_rows(rows)
+            stage = self._new_stage(
+                "J", tasks=tasks,
+                operators=(
+                    Operator(K.SHUFFLE_READ),
+                    Operator(K.MERGE_JOIN, str(node.condition)),
+                    Operator(K.MERGE_SORT),
+                    Operator(K.SHUFFLE_WRITE),
+                ),
+                rows=rows, bytes_out=bytes_out,
+            )
+            self._edges.append(Edge(left.name, stage.name))
+            self._edges.append(Edge(right.name, stage.name))
+            return stage
+        if isinstance(node, LogicalAggregate):
+            child = self._lower(node.child)
+            rows = max(1.0, child.rows * AGGREGATE_REDUCTION)
+            bytes_out = max(1e3, child.bytes_out * AGGREGATE_REDUCTION)
+            stage = self._new_stage(
+                "R", tasks=self._tasks_for_rows(rows * 16),
+                operators=(
+                    Operator(K.SHUFFLE_READ),
+                    Operator(K.STREAMED_AGGREGATE),
+                    Operator(K.SHUFFLE_WRITE),
+                ),
+                rows=rows, bytes_out=bytes_out,
+            )
+            self._edges.append(Edge(child.name, stage.name))
+            return stage
+        if isinstance(node, LogicalProject):
+            # Projection is free: it rides in the child stage.
+            return self._lower(node.child)
+        if isinstance(node, LogicalSort):
+            child = self._lower(node.child)
+            stage = self._new_stage(
+                "R", tasks=self._tasks_for_rows(child.rows),
+                operators=(
+                    Operator(K.SHUFFLE_READ),
+                    Operator(K.SORT_BY),
+                    Operator(K.SHUFFLE_WRITE),
+                ),
+                rows=child.rows, bytes_out=child.bytes_out,
+            )
+            self._edges.append(Edge(child.name, stage.name))
+            return stage
+        if isinstance(node, LogicalLimit):
+            child = self._lower(node.child)
+            child.rows = min(child.rows, float(node.count))
+            return child
+        raise PlanError(f"cannot lower {node!r}")
+
+    def _lower_scan(self, node: LogicalScan, selectivity: float) -> _StageDraft:
+        schema = self.catalog.resolve_table(node.table)
+        total_bytes = schema.bytes_at(self.scale_factor)
+        rows = schema.rows_at(self.scale_factor) * selectivity
+        tasks = max(1, math.ceil(total_bytes / SCAN_SPLIT_BYTES))
+        operators = [Operator(K.TABLE_SCAN, schema.name)]
+        if selectivity < 1.0:
+            operators.append(Operator(K.FILTER))
+        operators.append(Operator(K.SHUFFLE_WRITE))
+        return self._new_stage(
+            "M", tasks=tasks,
+            operators=tuple(operators),
+            rows=rows,
+            bytes_out=total_bytes * selectivity,
+            scan_bytes=total_bytes,
+        )
+
+    def _tasks_for_rows(self, rows: float) -> int:
+        return max(1, min(1024, math.ceil(rows / ROWS_PER_TASK)))
+
+
+def compile_sql(
+    sql: str,
+    catalog: Catalog | None = None,
+    scale_factor: float = 1.0,
+    job_id: str = "sql_job",
+) -> JobDAG:
+    """Full front-end path: SQL text -> parsed AST -> logical plan -> DAG.
+
+    This is the Fig. 1 pipeline: a Swift-language job is compiled to the
+    DAG model that the scheduler consumes.
+    """
+    from .logical import plan_statement
+    from .parser import parse
+
+    statement = parse(sql)
+    plan = plan_statement(statement, catalog or DEFAULT_CATALOG)
+    planner = PhysicalPlanner(
+        catalog=catalog or DEFAULT_CATALOG, scale_factor=scale_factor
+    )
+    return planner.plan(plan, job_id=job_id)

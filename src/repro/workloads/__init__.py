@@ -1,0 +1,42 @@
+"""Workloads: TPC-H query DAGs, Terasort, and trace-calibrated generators."""
+
+from . import terasort, tpch, tpch_sql, traces
+from .terasort import TABLE1_SIZES, terasort_dag, terasort_job
+from .tpch import ALL_QUERIES, Q9_CRITICAL_STAGES, Q13_DETAILS, query_dag, query_job
+from .tpch_sql import TPCH_SQL, query_sql, runnable_queries
+from .traces import (
+    CLUSTER_PROFILES,
+    SHUFFLE_CLASSES,
+    TraceConfig,
+    cluster_profile_jobs,
+    generate_job,
+    generate_trace,
+    shuffle_class_jobs,
+    trace_statistics,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "CLUSTER_PROFILES",
+    "Q13_DETAILS",
+    "Q9_CRITICAL_STAGES",
+    "SHUFFLE_CLASSES",
+    "TABLE1_SIZES",
+    "TPCH_SQL",
+    "TraceConfig",
+    "cluster_profile_jobs",
+    "generate_job",
+    "generate_trace",
+    "query_dag",
+    "query_job",
+    "shuffle_class_jobs",
+    "terasort",
+    "terasort_dag",
+    "terasort_job",
+    "query_sql",
+    "runnable_queries",
+    "tpch",
+    "tpch_sql",
+    "trace_statistics",
+    "traces",
+]

@@ -1,0 +1,60 @@
+"""Terasort workload: M map tasks x N reduce tasks (Table I).
+
+Each map task reads and sorts 200 MB of input ("each Terasort Map task
+processes 200MB data"), partitions it over the N reducers, and the reduce
+stage merges sorted runs — a global sort, so the map->reduce edge is a
+barrier edge and Swift splits the job into two graphlets.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import Edge, Job, JobDAG, Stage
+from ..core.operators import OperatorKind as K, ops
+
+MAP_INPUT_BYTES = 200e6
+
+#: The M x N grid of Table I.
+TABLE1_SIZES: tuple[tuple[int, int], ...] = (
+    (250, 250),
+    (500, 500),
+    (1000, 1000),
+    (1500, 1500),
+)
+
+
+def terasort_dag(
+    n_maps: int,
+    n_reduces: int,
+    map_input_bytes: float = MAP_INPUT_BYTES,
+    job_id: str | None = None,
+) -> JobDAG:
+    """Build a Terasort job DAG of ``n_maps`` x ``n_reduces`` tasks."""
+    if n_maps < 1 or n_reduces < 1:
+        raise ValueError("terasort needs at least one map and one reduce task")
+    maps = Stage(
+        name="map",
+        task_count=n_maps,
+        # The map side performs the partition sort, making the shuffle edge
+        # a barrier: reducers merge complete sorted runs.
+        operators=ops(K.TABLE_SCAN, K.SORT_BY, K.SHUFFLE_WRITE),
+        scan_bytes_per_task=map_input_bytes,
+        output_bytes_per_task=map_input_bytes,
+    )
+    reduces = Stage(
+        name="reduce",
+        task_count=n_reduces,
+        operators=ops(K.SHUFFLE_READ, K.MERGE_SORT, K.ADHOC_SINK),
+        output_bytes_per_task=map_input_bytes * n_maps / n_reduces,
+    )
+    dag = JobDAG(
+        job_id or f"terasort_{n_maps}x{n_reduces}",
+        [maps, reduces],
+        [Edge("map", "reduce")],
+    )
+    dag.validate()
+    return dag
+
+
+def terasort_job(n_maps: int, n_reduces: int, submit_time: float = 0.0) -> Job:
+    """Submission-ready Terasort job."""
+    return Job(dag=terasort_dag(n_maps, n_reduces), submit_time=submit_time)

@@ -1,0 +1,508 @@
+"""TPC-H workload: the 22 query DAGs at a nominal 1 TB scale.
+
+The runtime consumes DAGs (stage/task structure plus data volumes), not
+tuples, so each query is encoded as its physical-plan DAG.  Q9 reproduces
+the exact stage/task structure of the paper's Fig. 4 (M1=956, M2=220, M3=3,
+M5=403, M7=220, M8=20 tasks, four graphlets); Q13 reproduces Fig. 13
+(M1=498, M2=72 tasks and the J3/R4/R5/R6 chain with its per-task record
+counts).  The remaining twenty queries are derived from their well-known
+query shapes (which tables are scanned, how many joins/aggregates/sorts).
+
+Data volumes assume the standard 1 TB (SF=1000) table sizes; ``scale``
+rescales everything for laptop-sized runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.dag import Edge, EdgeMode, Job, JobDAG, Stage  # noqa: F401 (EdgeMode re-exported)
+from ..core.operators import Operator, OperatorKind as K, ops
+
+GB = 1e9
+MB = 1e6
+
+#: Approximate on-disk table sizes at SF=1000 (1 TB total), bytes.
+TABLE_BYTES_1TB: dict[str, float] = {
+    "lineitem": 750.0 * GB,
+    "orders": 170.0 * GB,
+    "partsupp": 115.0 * GB,
+    "customer": 23.0 * GB,
+    "part": 23.0 * GB,
+    "supplier": 1.4 * GB,
+    "nation": 2.2e3,
+    "region": 4.0e2,
+}
+
+#: Bytes of input one scan task handles; 956 lineitem tasks at 1 TB matches
+#: Fig. 4's M1.
+SCAN_SPLIT_BYTES = TABLE_BYTES_1TB["lineitem"] / 956
+
+
+def scan_task_count(table: str, scale: float = 1.0) -> int:
+    """Number of scan tasks for ``table`` at ``scale`` x 1 TB."""
+    size = TABLE_BYTES_1TB[table] * scale
+    return max(1, math.ceil(size / SCAN_SPLIT_BYTES))
+
+
+@dataclass
+class _Builder:
+    """Tiny DSL for assembling query DAGs."""
+
+    job_id: str
+    scale: float = 1.0
+    stages: list[Stage] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    _counter: int = 0
+
+    def _next_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def scan(
+        self,
+        table: str,
+        selectivity: float = 0.5,
+        tasks: int | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Add a table-scan (M) stage; returns its name."""
+        size = TABLE_BYTES_1TB[table] * self.scale
+        n = tasks if tasks is not None else scan_task_count(table, self.scale)
+        name = name or self._next_name("M")
+        self.stages.append(
+            Stage(
+                name=name,
+                task_count=n,
+                operators=ops(K.TABLE_SCAN, K.FILTER, K.SHUFFLE_WRITE),
+                scan_bytes_per_task=size / n,
+                output_bytes_per_task=size * selectivity / n,
+            )
+        )
+        return name
+
+    def join(
+        self,
+        inputs: list[str],
+        tasks: int,
+        out_bytes: float,
+        blocking: bool = True,
+        name: str | None = None,
+        edge_modes: dict[str, EdgeMode] | None = None,
+    ) -> str:
+        """Add a join (J) stage fed by ``inputs``; returns its name."""
+        name = name or self._next_name("J")
+        operators = [Operator(K.SHUFFLE_READ)]
+        operators.append(Operator(K.MERGE_JOIN if blocking else K.HASH_JOIN))
+        if blocking:
+            operators.append(Operator(K.MERGE_SORT))
+        operators.append(Operator(K.SHUFFLE_WRITE))
+        self.stages.append(
+            Stage(
+                name=name,
+                task_count=tasks,
+                operators=tuple(operators),
+                output_bytes_per_task=out_bytes * self.scale / tasks,
+            )
+        )
+        modes = edge_modes or {}
+        for src in inputs:
+            self.edges.append(Edge(src, name, mode=modes.get(src)))
+        return name
+
+    def agg(
+        self,
+        inputs: list[str],
+        tasks: int,
+        out_bytes: float,
+        blocking: bool = True,
+        name: str | None = None,
+    ) -> str:
+        """Add an aggregation (R) stage; returns its name."""
+        name = name or self._next_name("R")
+        operators = [Operator(K.SHUFFLE_READ)]
+        operators.append(
+            Operator(K.STREAMED_AGGREGATE if blocking else K.HASH_AGGREGATE)
+        )
+        operators.append(Operator(K.SHUFFLE_WRITE))
+        self.stages.append(
+            Stage(
+                name=name,
+                task_count=tasks,
+                operators=tuple(operators),
+                output_bytes_per_task=out_bytes * self.scale / tasks,
+            )
+        )
+        for src in inputs:
+            self.edges.append(Edge(src, name))
+        return name
+
+    def sort(
+        self, inputs: list[str], tasks: int, out_bytes: float, name: str | None = None
+    ) -> str:
+        """Add an order-by (R, blocking) stage; returns its name."""
+        name = name or self._next_name("R")
+        self.stages.append(
+            Stage(
+                name=name,
+                task_count=tasks,
+                operators=ops(K.SHUFFLE_READ, K.SORT_BY, K.SHUFFLE_WRITE),
+                output_bytes_per_task=out_bytes * self.scale / tasks,
+            )
+        )
+        for src in inputs:
+            self.edges.append(Edge(src, name))
+        return name
+
+    def sink(self, inputs: list[str], out_bytes: float = 1 * MB, name: str | None = None) -> str:
+        """Add the final ad-hoc sink stage; returns its name."""
+        name = name or self._next_name("R")
+        self.stages.append(
+            Stage(
+                name=name,
+                task_count=1,
+                operators=ops(K.SHUFFLE_READ, K.LIMIT, K.ADHOC_SINK),
+                output_bytes_per_task=out_bytes * self.scale,
+            )
+        )
+        for src in inputs:
+            self.edges.append(Edge(src, name))
+        return name
+
+    def build(self) -> JobDAG:
+        """Assemble and validate the query DAG."""
+        dag = JobDAG(self.job_id, self.stages, self.edges)
+        dag.validate()
+        return dag
+
+
+def _q1(b: _Builder) -> None:
+    m1 = b.scan("lineitem", selectivity=0.35)
+    r2 = b.agg([m1], tasks=96, out_bytes=8 * MB)
+    r3 = b.sort([r2], tasks=4, out_bytes=1 * MB)
+    b.sink([r3])
+
+
+def _q2(b: _Builder) -> None:
+    m_p = b.scan("part", selectivity=0.05)
+    m_ps = b.scan("partsupp", selectivity=0.4)
+    m_s = b.scan("supplier", selectivity=0.6)
+    m_n = b.scan("nation", selectivity=1.0)
+    j1 = b.join([m_ps, m_s, m_n], tasks=128, out_bytes=30 * GB)
+    j2 = b.join([j1, m_p], tasks=96, out_bytes=2 * GB)
+    r_min = b.agg([j2], tasks=48, out_bytes=400 * MB)
+    r = b.sort([r_min], tasks=8, out_bytes=10 * MB)
+    b.sink([r])
+
+
+def _q3(b: _Builder) -> None:
+    m_c = b.scan("customer", selectivity=0.2)
+    m_o = b.scan("orders", selectivity=0.5)
+    m_l = b.scan("lineitem", selectivity=0.55)
+    j1 = b.join([m_c, m_o], tasks=160, out_bytes=50 * GB)
+    j2 = b.join([j1, m_l], tasks=220, out_bytes=20 * GB)
+    r = b.agg([j2], tasks=64, out_bytes=100 * MB)
+    b.sink([r])
+
+
+def _q4(b: _Builder) -> None:
+    m_o = b.scan("orders", selectivity=0.4)
+    m_l = b.scan("lineitem", selectivity=0.3)
+    j1 = b.join([m_o, m_l], tasks=200, out_bytes=10 * GB)
+    r = b.agg([j1], tasks=16, out_bytes=1 * MB)
+    b.sink([r])
+
+
+def _q5(b: _Builder) -> None:
+    m_c = b.scan("customer", selectivity=0.8)
+    m_o = b.scan("orders", selectivity=0.3)
+    m_l = b.scan("lineitem", selectivity=0.7)
+    m_s = b.scan("supplier", selectivity=0.9)
+    m_n = b.scan("nation", selectivity=1.0)
+    j1 = b.join([m_c, m_o], tasks=160, out_bytes=40 * GB)
+    j2 = b.join([j1, m_l], tasks=260, out_bytes=45 * GB)
+    j3 = b.join([j2, m_s, m_n], tasks=120, out_bytes=5 * GB)
+    r = b.agg([j3], tasks=16, out_bytes=2 * MB)
+    b.sink([r])
+
+
+def _q6(b: _Builder) -> None:
+    m1 = b.scan("lineitem", selectivity=0.02)
+    r = b.agg([m1], tasks=12, out_bytes=1 * MB, blocking=False)
+    b.sink([r])
+
+
+def _q7(b: _Builder) -> None:
+    m_s = b.scan("supplier", selectivity=0.9)
+    m_l = b.scan("lineitem", selectivity=0.35)
+    m_o = b.scan("orders", selectivity=0.9)
+    m_c = b.scan("customer", selectivity=0.9)
+    m_n = b.scan("nation", selectivity=1.0)
+    j1 = b.join([m_s, m_l, m_n], tasks=240, out_bytes=70 * GB)
+    j2 = b.join([j1, m_o], tasks=200, out_bytes=30 * GB)
+    j3 = b.join([j2, m_c], tasks=120, out_bytes=4 * GB)
+    r = b.agg([j3], tasks=24, out_bytes=2 * MB)
+    b.sink([r])
+
+
+def _q8(b: _Builder) -> None:
+    m_p = b.scan("part", selectivity=0.02)
+    m_l = b.scan("lineitem", selectivity=0.6)
+    m_s = b.scan("supplier", selectivity=0.95)
+    m_o = b.scan("orders", selectivity=0.35)
+    m_c = b.scan("customer", selectivity=0.9)
+    m_n = b.scan("nation", selectivity=1.0)
+    j1 = b.join([m_p, m_l], tasks=220, out_bytes=15 * GB)
+    j2 = b.join([j1, m_s, m_o], tasks=160, out_bytes=8 * GB)
+    j3 = b.join([j2, m_c, m_n], tasks=96, out_bytes=1 * GB)
+    r = b.agg([j3], tasks=16, out_bytes=1 * MB)
+    b.sink([r])
+
+
+def _q9(b: _Builder) -> None:
+    """Fig. 4's exact structure: four graphlets with the published task
+    counts.  M1 scans lineitem, M2 partsupp, M3 supplier, M5 orders, M7
+    part, M8 nation; J4/J6/J10 contain MergeSort, so their outgoing edges
+    are barriers."""
+    m1 = b.scan("lineitem", selectivity=0.6, tasks=956, name="M1")
+    m2 = b.scan("partsupp", selectivity=0.5, tasks=220, name="M2")
+    m3 = b.scan("supplier", selectivity=0.9, tasks=3, name="M3")
+    j4 = b.join([m1, m2, m3], tasks=256, out_bytes=180 * GB, name="J4")
+    m5 = b.scan("orders", selectivity=0.7, tasks=403, name="M5")
+    j6 = b.join([j4, m5], tasks=256, out_bytes=120 * GB, name="J6")
+    m7 = b.scan("part", selectivity=0.055, tasks=220, name="M7")
+    m8 = b.scan("nation", selectivity=1.0, tasks=20, name="M8")
+    r9 = b.agg([m7, m8], tasks=64, out_bytes=1 * GB, blocking=False, name="R9")
+    j10 = b.join([j6, r9], tasks=128, out_bytes=4 * GB, name="J10")
+    # R11 streams into the sink (graphlet 4 of Fig. 4 is {R11, R12}).
+    r11 = b.agg([j10], tasks=32, out_bytes=60 * MB, blocking=False, name="R11")
+    b.sink([r11], name="R12")
+
+
+def _q10(b: _Builder) -> None:
+    m_c = b.scan("customer", selectivity=0.9)
+    m_o = b.scan("orders", selectivity=0.12)
+    m_l = b.scan("lineitem", selectivity=0.25)
+    m_n = b.scan("nation", selectivity=1.0)
+    j1 = b.join([m_c, m_o], tasks=160, out_bytes=20 * GB)
+    j2 = b.join([j1, m_l, m_n], tasks=180, out_bytes=15 * GB)
+    r = b.agg([j2], tasks=48, out_bytes=500 * MB)
+    b.sink([r])
+
+
+def _q11(b: _Builder) -> None:
+    m_ps = b.scan("partsupp", selectivity=0.6)
+    m_s = b.scan("supplier", selectivity=0.9)
+    m_n = b.scan("nation", selectivity=1.0)
+    j1 = b.join([m_ps, m_s, m_n], tasks=140, out_bytes=25 * GB)
+    r_sum = b.agg([j1], tasks=64, out_bytes=3 * GB)
+    r_total = b.agg([r_sum], tasks=8, out_bytes=1 * MB)
+    r = b.sort([r_total], tasks=4, out_bytes=1 * MB)
+    b.sink([r])
+
+
+def _q12(b: _Builder) -> None:
+    m_o = b.scan("orders", selectivity=0.9)
+    m_l = b.scan("lineitem", selectivity=0.01)
+    j1 = b.join([m_o, m_l], tasks=140, out_bytes=3 * GB)
+    r = b.agg([j1], tasks=8, out_bytes=1 * MB)
+    b.sink([r])
+
+
+def _q13(b: _Builder) -> None:
+    """Fig. 13's exact structure.  M1 scans orders (498 tasks, 3,012,048
+    records / 76 MB each after column pruning), M2 scans customer (72
+    tasks, 26 MB each); the J3 -> R4 -> R5 -> R6 chain carries the
+    published per-task record counts.
+
+    Stage work is set so the timeline matches the paper's Fig. 14
+    narrative: M2 finishes early (its failure at t=20 is a no-op because
+    its output has been received), while J3 — "on the critical job path
+    and ... of the large input data size" — is still running at t=40 and
+    expensive to re-run.
+    """
+    b.stages.append(
+        Stage(
+            name="M1", task_count=498,
+            operators=ops(K.TABLE_SCAN, K.FILTER, K.SHUFFLE_WRITE),
+            scan_bytes_per_task=76 * MB * b.scale,
+            output_bytes_per_task=60 * MB * b.scale,
+            work_seconds_per_task=22.0,
+        )
+    )
+    b.stages.append(
+        Stage(
+            name="M2", task_count=72,
+            operators=ops(K.TABLE_SCAN, K.FILTER, K.SHUFFLE_WRITE),
+            scan_bytes_per_task=26 * MB * b.scale,
+            output_bytes_per_task=20 * MB * b.scale,
+            work_seconds_per_task=1.5,
+        )
+    )
+    b.stages.append(
+        Stage(
+            name="J3", task_count=144,
+            operators=ops(K.SHUFFLE_READ, K.MERGE_JOIN, K.MERGE_SORT, K.SHUFFLE_WRITE),
+            output_bytes_per_task=5 * MB * b.scale,
+            work_seconds_per_task=10.0,
+        )
+    )
+    b.stages.append(
+        Stage(
+            name="R4", task_count=144,
+            operators=ops(K.SHUFFLE_READ, K.STREAMED_AGGREGATE, K.SHUFFLE_WRITE),
+            output_bytes_per_task=2 * MB * b.scale,
+            work_seconds_per_task=4.0,
+        )
+    )
+    b.stages.append(
+        Stage(
+            name="R5", task_count=28,
+            operators=ops(K.SHUFFLE_READ, K.STREAMED_AGGREGATE, K.SHUFFLE_WRITE),
+            output_bytes_per_task=1.1e3 * b.scale,
+            work_seconds_per_task=2.0,
+        )
+    )
+    b.stages.append(
+        Stage(
+            name="R6", task_count=1,
+            operators=ops(K.SHUFFLE_READ, K.SORT_BY, K.ADHOC_SINK),
+            output_bytes_per_task=1.3e3 * b.scale,
+            work_seconds_per_task=1.5,
+        )
+    )
+    b.edges.extend(
+        [Edge("M1", "J3"), Edge("M2", "J3"), Edge("J3", "R4"),
+         Edge("R4", "R5"), Edge("R5", "R6")]
+    )
+
+
+def _q14(b: _Builder) -> None:
+    m_l = b.scan("lineitem", selectivity=0.015)
+    m_p = b.scan("part", selectivity=0.9)
+    j1 = b.join([m_l, m_p], tasks=120, out_bytes=2 * GB)
+    r = b.agg([j1], tasks=8, out_bytes=1 * MB, blocking=False)
+    b.sink([r])
+
+
+def _q15(b: _Builder) -> None:
+    m_l = b.scan("lineitem", selectivity=0.04)
+    r_rev = b.agg([m_l], tasks=96, out_bytes=2 * GB)
+    r_max = b.agg([r_rev], tasks=8, out_bytes=1 * MB)
+    m_s = b.scan("supplier", selectivity=1.0)
+    j1 = b.join([m_s, r_rev, r_max], tasks=32, out_bytes=10 * MB)
+    b.sink([j1])
+
+
+def _q16(b: _Builder) -> None:
+    m_ps = b.scan("partsupp", selectivity=0.8)
+    m_p = b.scan("part", selectivity=0.9)
+    m_s = b.scan("supplier", selectivity=0.02)
+    j1 = b.join([m_ps, m_p, m_s], tasks=160, out_bytes=30 * GB)
+    r_d = b.agg([j1], tasks=96, out_bytes=4 * GB)
+    r = b.sort([r_d], tasks=16, out_bytes=50 * MB)
+    b.sink([r])
+
+
+def _q17(b: _Builder) -> None:
+    m_l = b.scan("lineitem", selectivity=0.3)
+    m_p = b.scan("part", selectivity=0.001)
+    r_avg = b.agg([m_l], tasks=128, out_bytes=5 * GB)
+    j1 = b.join([m_l, m_p, r_avg], tasks=96, out_bytes=500 * MB)
+    r = b.agg([j1], tasks=4, out_bytes=1 * MB, blocking=False)
+    b.sink([r])
+
+
+def _q18(b: _Builder) -> None:
+    m_l = b.scan("lineitem", selectivity=0.45)
+    r_g = b.agg([m_l], tasks=256, out_bytes=40 * GB)
+    m_c = b.scan("customer", selectivity=0.95)
+    m_o = b.scan("orders", selectivity=0.9)
+    j1 = b.join([m_o, r_g], tasks=200, out_bytes=10 * GB)
+    j2 = b.join([j1, m_c], tasks=96, out_bytes=500 * MB)
+    r = b.sort([j2], tasks=16, out_bytes=10 * MB)
+    b.sink([r])
+
+
+def _q19(b: _Builder) -> None:
+    m_l = b.scan("lineitem", selectivity=0.12)
+    m_p = b.scan("part", selectivity=0.08)
+    j1 = b.join([m_l, m_p], tasks=140, out_bytes=1 * GB)
+    r = b.agg([j1], tasks=4, out_bytes=1 * MB, blocking=False)
+    b.sink([r])
+
+
+def _q20(b: _Builder) -> None:
+    m_l = b.scan("lineitem", selectivity=0.05)
+    r_sum = b.agg([m_l], tasks=128, out_bytes=8 * GB)
+    m_ps = b.scan("partsupp", selectivity=0.6)
+    m_p = b.scan("part", selectivity=0.01)
+    j1 = b.join([m_ps, m_p, r_sum], tasks=96, out_bytes=3 * GB)
+    m_s = b.scan("supplier", selectivity=0.9)
+    m_n = b.scan("nation", selectivity=1.0)
+    j2 = b.join([j1, m_s, m_n], tasks=48, out_bytes=50 * MB)
+    r = b.sort([j2], tasks=8, out_bytes=10 * MB)
+    b.sink([r])
+
+
+def _q21(b: _Builder) -> None:
+    m_s = b.scan("supplier", selectivity=0.9)
+    m_l1 = b.scan("lineitem", selectivity=0.5)
+    m_o = b.scan("orders", selectivity=0.45)
+    m_n = b.scan("nation", selectivity=1.0)
+    j1 = b.join([m_s, m_l1, m_n], tasks=260, out_bytes=60 * GB)
+    j2 = b.join([j1, m_o], tasks=220, out_bytes=25 * GB)
+    r_exists = b.agg([j2], tasks=128, out_bytes=5 * GB)
+    r = b.sort([r_exists], tasks=16, out_bytes=10 * MB)
+    b.sink([r])
+
+
+def _q22(b: _Builder) -> None:
+    m_c = b.scan("customer", selectivity=0.25)
+    m_o = b.scan("orders", selectivity=0.35)
+    r_avg = b.agg([m_c], tasks=32, out_bytes=500 * MB)
+    j1 = b.join([m_c, m_o, r_avg], tasks=64, out_bytes=300 * MB)
+    r = b.agg([j1], tasks=8, out_bytes=1 * MB)
+    b.sink([r])
+
+
+_QUERY_BUILDERS = {
+    1: _q1, 2: _q2, 3: _q3, 4: _q4, 5: _q5, 6: _q6, 7: _q7, 8: _q8,
+    9: _q9, 10: _q10, 11: _q11, 12: _q12, 13: _q13, 14: _q14, 15: _q15,
+    16: _q16, 17: _q17, 18: _q18, 19: _q19, 20: _q20, 21: _q21, 22: _q22,
+}
+
+ALL_QUERIES = tuple(sorted(_QUERY_BUILDERS))
+
+
+def query_dag(query: int, scale: float = 1.0, job_id: str | None = None) -> JobDAG:
+    """Build the physical-plan DAG for TPC-H query ``query``.
+
+    ``scale`` multiplies all data volumes (1.0 = the paper's 1 TB run).
+    """
+    if query not in _QUERY_BUILDERS:
+        raise ValueError(f"TPC-H has queries 1..22, not {query}")
+    builder = _Builder(job_id=job_id or f"tpch_q{query}", scale=scale)
+    _QUERY_BUILDERS[query](builder)
+    return builder.build()
+
+
+def query_job(query: int, scale: float = 1.0, submit_time: float = 0.0) -> Job:
+    """Build a submission-ready :class:`Job` for a TPC-H query."""
+    return Job(dag=query_dag(query, scale=scale), submit_time=submit_time)
+
+
+#: Stage rows of Fig. 13 (records and bytes per task) for the Q13 detail
+#: bench.  Values are straight from the paper's table.
+Q13_DETAILS: tuple[dict[str, object], ...] = (
+    {"stage": "M1", "tasks": 498, "input_records_per_task": 3_012_048, "input_size_per_task": "76MB"},
+    {"stage": "M2", "tasks": 72, "input_records_per_task": 2_861_350, "input_size_per_task": "26MB"},
+    {"stage": "J3", "tasks": 144, "input_records_per_task": 262_697, "input_size_per_task": "5MB"},
+    {"stage": "R4", "tasks": 144, "input_records_per_task": 262_698, "input_size_per_task": "2MB"},
+    {"stage": "R5", "tasks": 28, "input_records_per_task": 28, "input_size_per_task": "1.1KB"},
+    {"stage": "R6", "tasks": 1, "input_records_per_task": 30, "input_size_per_task": "1.3KB"},
+)
+
+#: The critical stages of Q9 whose 4-phase breakdown Fig. 9(b) reports.
+Q9_CRITICAL_STAGES = ("M1", "M5", "J4", "J6", "J10", "R11", "R12")

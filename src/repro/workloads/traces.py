@@ -1,0 +1,293 @@
+"""Production-trace workload generator, calibrated to Fig. 8.
+
+The paper replays 2,000 production jobs whose marginals Fig. 8 shows: the
+average job run time is 30 s, more than 90% of jobs complete within 120 s,
+and more than 80% of jobs have at most 80 tasks and at most 4 stages.  The
+generator samples job shapes from distributions fitted to those quantiles;
+:func:`trace_statistics` lets tests verify the calibration.
+
+It also provides the specialised samplers the other experiments need:
+
+* :func:`cluster_profile_jobs` — four workload mixes with increasing DAG
+  depth, reproducing the four production clusters of Fig. 3;
+* :func:`shuffle_class_jobs` — small / medium / large shuffle-edge-size
+  classes for the Fig. 12 ablation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.dag import Edge, Job, JobDAG, Stage
+from ..core.operators import Operator, OperatorKind as K, ops
+
+MB = 1e6
+
+#: Lognormal parameters for job *work* duration: median ~18 s gives a mean
+#: of ~30 s and P90 < 120 s once DAG structure is added.
+_RUNTIME_MU = math.log(16.0)
+_RUNTIME_SIGMA = 0.95
+
+#: Stage-count distribution: P(<=4 stages) ~ 0.84 (Fig. 8(b)).
+_STAGE_COUNT_WEIGHTS: tuple[tuple[int, float], ...] = (
+    (1, 0.30),
+    (2, 0.22),
+    (3, 0.18),
+    (4, 0.14),
+    (5, 0.07),
+    (6, 0.05),
+    (7, 0.03),
+    (8, 0.01),
+)
+
+
+def _sample_stage_count(rng: random.Random) -> int:
+    u = rng.random()
+    acc = 0.0
+    for count, weight in _STAGE_COUNT_WEIGHTS:
+        acc += weight
+        if u <= acc:
+            return count
+    return _STAGE_COUNT_WEIGHTS[-1][0]
+
+
+def _sample_task_count(
+    rng: random.Random, n_stages: int, large: bool, cap: int = 700
+) -> int:
+    """Per-stage task count.
+
+    Small jobs keep >80% of jobs at <= 80 total tasks; the ~12% large-job
+    class reaches into the hundreds of tasks per stage (Fig. 8(b)'s axis
+    extends to 2,000 tasks) — these are the jobs whose whole-job gangs
+    cause JetScope's head-of-line blocking.
+    """
+    if large:
+        value = rng.lognormvariate(math.log(180.0), 0.6)
+        return max(min(40, cap), min(cap, int(value)))
+    budget = 80 / max(1, n_stages)
+    value = rng.lognormvariate(math.log(max(2.0, budget / 3.0)), 0.8)
+    return max(1, min(80, cap, int(value)))
+
+
+@dataclass
+class TraceConfig:
+    """Knobs of the trace generator."""
+
+    n_jobs: int = 2000
+    #: Mean inter-arrival gap in seconds (Poisson arrivals).
+    mean_interarrival: float = 0.25
+    #: Probability a stage contains a global-sort operator, making its
+    #: outgoing edge a barrier.
+    blocking_probability: float = 0.45
+    #: Mean bytes shuffled per stage output (lognormal).
+    shuffle_bytes_median: float = 80 * MB
+    shuffle_bytes_sigma: float = 1.2
+    #: Fraction of jobs in the large class (hundreds of tasks per stage).
+    large_job_fraction: float = 0.12
+    #: Hard cap on tasks per stage; lower it when replaying on clusters too
+    #: small to gang-schedule the large-job class.
+    max_stage_tasks: int = 700
+    #: Truncation of the per-job work tail: Fig. 8(a) has >90% of jobs
+    #: finishing within 120 s.
+    max_total_work: float = 140.0
+    seed: int = 7
+
+
+def _stage_ops(blocking: bool, is_scan: bool, is_sink: bool) -> tuple[Operator, ...]:
+    kinds: list[K] = []
+    kinds.append(K.TABLE_SCAN if is_scan else K.SHUFFLE_READ)
+    if blocking:
+        kinds.append(K.MERGE_SORT)
+    else:
+        kinds.append(K.HASH_AGGREGATE)
+    kinds.append(K.ADHOC_SINK if is_sink else K.SHUFFLE_WRITE)
+    return ops(*kinds)
+
+
+def generate_job(
+    rng: random.Random,
+    job_id: str,
+    config: TraceConfig,
+    submit_time: float = 0.0,
+    n_stages: int | None = None,
+) -> Job:
+    """Sample one trace job: a mostly-chain DAG with occasional fan-in."""
+    n = n_stages if n_stages is not None else _sample_stage_count(rng)
+    total_work = min(
+        rng.lognormvariate(_RUNTIME_MU, _RUNTIME_SIGMA), config.max_total_work
+    )
+    large = rng.random() < config.large_job_fraction
+    work_per_stage = total_work / n
+    stages: list[Stage] = []
+    edges: list[Edge] = []
+    for i in range(n):
+        is_scan = i == 0 or (i == 1 and n >= 3 and rng.random() < 0.25)
+        is_sink = i == n - 1
+        blocking = (not is_sink) and rng.random() < config.blocking_probability
+        tasks = _sample_task_count(rng, n, large, cap=config.max_stage_tasks)
+        out_bytes = rng.lognormvariate(
+            math.log(config.shuffle_bytes_median), config.shuffle_bytes_sigma
+        )
+        stage = Stage(
+            name=f"S{i + 1}",
+            task_count=tasks,
+            operators=_stage_ops(blocking, is_scan, is_sink),
+            scan_bytes_per_task=(out_bytes * 2 / tasks) if is_scan else 0.0,
+            output_bytes_per_task=0.0 if is_sink else out_bytes / tasks,
+            work_seconds_per_task=work_per_stage * rng.uniform(0.6, 1.4),
+        )
+        stages.append(stage)
+        if i > 0 and not (is_scan and i == 1):
+            edges.append(Edge(f"S{i}", f"S{i + 1}"))
+        elif i == 1 and is_scan and n >= 3:
+            # Side scan feeding the join at stage 3.
+            edges.append(Edge("S2", "S3"))
+            edges.append(Edge("S1", "S3"))
+    # Ensure connectivity when the side-scan shape was drawn.
+    dag = JobDAG(job_id, stages, _dedupe(edges))
+    dag.validate()
+    return Job(dag=dag, submit_time=submit_time)
+
+
+def _dedupe(edges: list[Edge]) -> list[Edge]:
+    seen: set[tuple[str, str]] = set()
+    result: list[Edge] = []
+    for edge in edges:
+        key = (edge.src, edge.dst)
+        if key not in seen:
+            seen.add(key)
+            result.append(edge)
+    return result
+
+
+def generate_trace(config: TraceConfig | None = None) -> list[Job]:
+    """Generate the full replay trace with Poisson arrivals."""
+    config = config or TraceConfig()
+    rng = random.Random(config.seed)
+    jobs: list[Job] = []
+    t = 0.0
+    for i in range(config.n_jobs):
+        jobs.append(generate_job(rng, f"trace_{i:05d}", config, submit_time=t))
+        t += rng.expovariate(1.0 / config.mean_interarrival)
+    return jobs
+
+
+def trace_statistics(jobs: list[Job]) -> dict[str, float]:
+    """Structural statistics used to validate Fig. 8 calibration."""
+    if not jobs:
+        raise ValueError("no jobs")
+    task_counts = sorted(j.dag.total_tasks() for j in jobs)
+    stage_counts = sorted(len(j.dag) for j in jobs)
+
+    def frac_at_most(values: list[int], limit: int) -> float:
+        """Fraction of values at or below ``limit``."""
+        return sum(1 for v in values if v <= limit) / len(values)
+
+    return {
+        "jobs": float(len(jobs)),
+        "frac_tasks_le_80": frac_at_most(task_counts, 80),
+        "frac_stages_le_4": frac_at_most(stage_counts, 4),
+        "max_tasks": float(task_counts[-1]),
+        "max_stages": float(stage_counts[-1]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 3: four production-cluster workload mixes
+# ----------------------------------------------------------------------
+
+#: Per-cluster generator bias: (min stages, blocking probability).  Cluster
+#: #1 runs mostly shallow jobs (low IdleRatio under gang scheduling);
+#: clusters #2..#4 run progressively deeper, more barrier-heavy DAGs.
+CLUSTER_PROFILES: tuple[dict[str, float], ...] = (
+    {"single_stage_frac": 0.55, "blocking_probability": 0.40},
+    {"single_stage_frac": 0.20, "blocking_probability": 0.55},
+    {"single_stage_frac": 0.15, "blocking_probability": 0.60},
+    {"single_stage_frac": 0.10, "blocking_probability": 0.65},
+)
+
+
+def cluster_profile_jobs(
+    profile_index: int, n_jobs: int = 200, seed: int = 11
+) -> list[Job]:
+    """Jobs matching one of the four Fig. 3 production-cluster profiles."""
+    if not 0 <= profile_index < len(CLUSTER_PROFILES):
+        raise ValueError("profile_index must be 0..3")
+    profile = CLUSTER_PROFILES[profile_index]
+    config = TraceConfig(
+        n_jobs=n_jobs,
+        blocking_probability=profile["blocking_probability"],
+        seed=seed + profile_index,
+    )
+    rng = random.Random(config.seed)
+    jobs: list[Job] = []
+    t = 0.0
+    for i in range(n_jobs):
+        if rng.random() < profile["single_stage_frac"]:
+            n_stages = 1
+        else:
+            n_stages = max(2, _sample_stage_count(rng))
+        jobs.append(
+            generate_job(
+                rng,
+                f"cluster{profile_index}_{i:04d}",
+                config,
+                submit_time=t,
+                n_stages=n_stages,
+            )
+        )
+        t += rng.expovariate(1.0 / config.mean_interarrival)
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Fig. 12: shuffle-edge-size classes
+# ----------------------------------------------------------------------
+
+#: (class name, producer tasks, consumer tasks) chosen so the edge size
+#: M x N falls below 10,000 / between the thresholds / above 90,000.
+SHUFFLE_CLASSES: dict[str, tuple[int, int]] = {
+    "small": (60, 60),       # 3,600 edges
+    "medium": (200, 200),    # 40,000 edges
+    "large": (400, 400),     # 160,000 edges
+}
+
+
+def shuffle_class_jobs(
+    category: str,
+    n_jobs: int = 20,
+    bytes_per_edge: float = 20e9,
+    seed: int = 13,
+) -> list[Job]:
+    """Two-stage shuffle jobs of one Fig. 12 size class.
+
+    Data volume is held constant across classes so the comparison isolates
+    the connection-count effects of the shuffle scheme.
+    """
+    if category not in SHUFFLE_CLASSES:
+        raise ValueError(f"category must be one of {sorted(SHUFFLE_CLASSES)}")
+    m, n = SHUFFLE_CLASSES[category]
+    rng = random.Random(seed)
+    jobs: list[Job] = []
+    t = 0.0
+    for i in range(n_jobs):
+        producer = Stage(
+            name="src",
+            task_count=m,
+            operators=ops(K.TABLE_SCAN, K.SORT_BY, K.SHUFFLE_WRITE),
+            scan_bytes_per_task=bytes_per_edge / m,
+            output_bytes_per_task=bytes_per_edge / m,
+        )
+        consumer = Stage(
+            name="dst",
+            task_count=n,
+            operators=ops(K.SHUFFLE_READ, K.MERGE_SORT, K.ADHOC_SINK),
+        )
+        dag = JobDAG(f"{category}_{i:03d}", [producer, consumer], [Edge("src", "dst")])
+        jobs.append(Job(dag=dag, submit_time=t, tags={"shuffle_class": category}))
+        # A few seconds between arrivals: two or three jobs shuffle
+        # concurrently, as in a busy-but-not-saturated production replay.
+        t += rng.expovariate(0.25)
+    return jobs

@@ -1,0 +1,101 @@
+"""Shared fixtures: small clusters and canonical DAG shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import Edge, EdgeMode, Job, JobDAG, Stage
+from repro.core.operators import OperatorKind as K, ops
+from repro.sim.cluster import Cluster
+from repro.sim.config import SimConfig
+
+MB = 1e6
+
+
+@pytest.fixture
+def config() -> SimConfig:
+    return SimConfig()
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return Cluster.build(n_machines=4, executors_per_machine=8)
+
+
+@pytest.fixture
+def medium_cluster() -> Cluster:
+    return Cluster.build(n_machines=20, executors_per_machine=16)
+
+
+def make_stage(
+    name: str,
+    tasks: int = 4,
+    blocking: bool = False,
+    scan_mb: float = 0.0,
+    out_mb: float = 10.0,
+    work: float | None = 1.0,
+    idempotent: bool = True,
+) -> Stage:
+    """A stage with sensible defaults for structural tests."""
+    kinds = [K.TABLE_SCAN if scan_mb else K.SHUFFLE_READ]
+    if blocking:
+        kinds.append(K.MERGE_SORT)
+    kinds.append(K.SHUFFLE_WRITE)
+    return Stage(
+        name=name,
+        task_count=tasks,
+        operators=ops(*kinds),
+        scan_bytes_per_task=scan_mb * MB,
+        output_bytes_per_task=out_mb * MB,
+        work_seconds_per_task=work,
+        idempotent=idempotent,
+    )
+
+
+def chain_dag(
+    job_id: str = "chain",
+    blocking_stages: tuple[int, ...] = (),
+    n_stages: int = 3,
+    tasks: int = 4,
+    idempotent: bool = True,
+) -> JobDAG:
+    """S1 -> S2 -> ... -> Sn; stages listed in ``blocking_stages`` (1-based)
+    contain a global sort, making their outgoing edges barriers."""
+    stages = [
+        make_stage(
+            f"S{i}",
+            tasks=tasks,
+            blocking=i in blocking_stages,
+            scan_mb=20.0 if i == 1 else 0.0,
+            idempotent=idempotent,
+        )
+        for i in range(1, n_stages + 1)
+    ]
+    edges = [Edge(f"S{i}", f"S{i + 1}") for i in range(1, n_stages)]
+    return JobDAG(job_id, stages, edges)
+
+
+def diamond_dag(job_id: str = "diamond", blocking_mid: bool = False) -> JobDAG:
+    """A -> {B, C} -> D."""
+    stages = [
+        make_stage("A", scan_mb=20.0),
+        make_stage("B", blocking=blocking_mid),
+        make_stage("C", blocking=blocking_mid),
+        make_stage("D"),
+    ]
+    edges = [Edge("A", "B"), Edge("A", "C"), Edge("B", "D"), Edge("C", "D")]
+    return JobDAG(job_id, stages, edges)
+
+
+@pytest.fixture
+def pipeline_chain() -> JobDAG:
+    return chain_dag("pipeline_chain")
+
+
+@pytest.fixture
+def barrier_chain() -> JobDAG:
+    return chain_dag("barrier_chain", blocking_stages=(1, 2))
+
+
+def as_job(dag: JobDAG, submit_time: float = 0.0) -> Job:
+    return Job(dag=dag, submit_time=submit_time)

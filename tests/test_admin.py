@@ -1,0 +1,119 @@
+"""Tests for the Swift Admin controller model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admin import SwiftAdmin
+from repro.sim.config import AdminConfig
+
+
+def make_admin(n_machines: int = 100) -> SwiftAdmin:
+    return SwiftAdmin(AdminConfig(), n_machines)
+
+
+def test_heartbeat_interval_scales_with_cluster():
+    # Section IV-A: 5s / 10s / 15s for small / medium / large clusters.
+    assert make_admin(100).heartbeat_interval == 5.0
+    assert make_admin(2_000).heartbeat_interval == 10.0
+    assert make_admin(50_000).heartbeat_interval == 15.0
+
+
+def test_dispatch_times_are_serialized():
+    admin = make_admin()
+    times = admin.dispatch_times(0.0, 5)
+    assert len(times) == 5
+    ept = admin.config.event_processing_time
+    for a, b in zip(times, times[1:]):
+        assert b - a == pytest.approx(ept)
+    assert times[0] == pytest.approx(ept + admin.config.dispatch_latency)
+
+
+def test_dispatch_backlog_carries_over():
+    admin = make_admin()
+    first = admin.dispatch_times(0.0, 100)
+    second = admin.dispatch_times(0.0, 1)
+    assert second[0] > first[-1] - admin.config.dispatch_latency
+
+
+def test_admit_ops_accounting():
+    admin = make_admin()
+    admin.admit_ops(0.0, 10)
+    assert admin.stats.events_processed == 10
+    assert admin.backlog == pytest.approx(10 * admin.config.event_processing_time)
+
+
+def test_admit_ops_rejects_negative():
+    with pytest.raises(ValueError):
+        make_admin().admit_ops(0.0, -1)
+    with pytest.raises(ValueError):
+        make_admin().dispatch_times(0.0, -1)
+
+
+def test_dispatch_times_empty():
+    assert make_admin().dispatch_times(0.0, 0) == []
+
+
+def test_health_monitor_marks_read_only_after_burst():
+    admin = make_admin()
+    threshold = admin.config.unhealthy_task_failures
+    flagged = [admin.record_task_failure(7, now=float(i)) for i in range(threshold)]
+    assert flagged[-1] is True
+    assert flagged[:-1] == [False] * (threshold - 1)
+    assert 7 in admin.health.read_only
+    assert admin.stats.machines_marked_read_only == 1
+
+
+def test_health_monitor_window_expiry():
+    admin = make_admin()
+    window = admin.config.unhealthy_window
+    threshold = admin.config.unhealthy_task_failures
+    # Failures spread wider than the window never trigger quarantine.
+    for i in range(threshold * 2):
+        assert admin.record_task_failure(3, now=i * (window + 1)) is False
+
+
+def test_status_counters():
+    admin = make_admin()
+    admin.record_status_report()
+    admin.record_heartbeat()
+    assert admin.stats.status_reports == 1
+    assert admin.stats.heartbeats_received == 1
+
+
+def test_plan_cache_hits_and_misses():
+    admin = make_admin()
+    assert admin.plan_cached("job", "s1") is False
+    assert admin.plan_cached("job", "s1") is True
+    assert admin.plan_cached("job", "s2") is False
+    assert admin.stats.plan_cache_hits == 1
+    assert admin.stats.plan_cache_misses == 2
+
+
+def test_plan_cache_job_eviction():
+    admin = make_admin()
+    admin.plan_cached("a", "s1")
+    admin.plan_cached("b", "s1")
+    admin.drop_job_plans("a")
+    assert admin.plan_cached("a", "s1") is False
+    assert admin.plan_cached("b", "s1") is True
+
+
+def test_recovery_hits_plan_cache():
+    from repro.core.policies import swift_policy
+    from repro.core.runtime import SwiftRuntime
+    from repro.sim.cluster import Cluster
+    from repro.sim.failures import FailureKind, FailurePlan, FailureSpec
+    from conftest import as_job, chain_dag
+
+    dag = chain_dag("pc", blocking_stages=(1,), tasks=4)
+    baseline = SwiftRuntime(Cluster.build(4, 8), swift_policy()).execute(
+        as_job(chain_dag("pc0", blocking_stages=(1,), tasks=4))
+    ).metrics.run_time
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.3)
+    runtime = SwiftRuntime(
+        Cluster.build(4, 8), swift_policy(),
+        failure_plan=FailurePlan([spec]), reference_duration=baseline,
+    )
+    runtime.execute(as_job(dag))
+    assert runtime.admin.stats.plan_cache_hits >= 1

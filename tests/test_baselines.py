@@ -1,0 +1,76 @@
+"""Tests for baseline policy construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import bubble_policy, jetscope_policy, restart_policy, spark_policy
+from repro.core.partition import (
+    BubblePartitioner,
+    StagePartitioner,
+    WholeJobPartitioner,
+)
+from repro.core.policies import (
+    FailureRecovery,
+    LaunchModel,
+    SubmissionOrder,
+    swift_policy,
+)
+from repro.core.shuffle import ShuffleScheme
+
+
+def test_swift_policy_defaults():
+    p = swift_policy()
+    assert p.name == "swift"
+    assert p.shuffle == ShuffleScheme.ADAPTIVE
+    assert p.launch == LaunchModel.PRELAUNCHED
+    assert p.recovery == FailureRecovery.FINE_GRAINED
+    assert p.submission == SubmissionOrder.CONSERVATIVE
+    assert p.gang and p.pipelined_execution
+
+
+def test_spark_policy_models_the_paper_claims():
+    p = spark_policy()
+    assert isinstance(p.partitioner, StagePartitioner)
+    assert p.shuffle == ShuffleScheme.DISK        # disk-based shuffle
+    assert p.launch == LaunchModel.COLDSTART      # per-job executor launch
+    assert not p.gang                             # wave execution
+    assert not p.pipelined_execution
+
+
+def test_jetscope_policy_models_whole_job_gang():
+    p = jetscope_policy()
+    assert isinstance(p.partitioner, WholeJobPartitioner)
+    assert p.launch == LaunchModel.PRELAUNCHED
+    assert p.recovery == FailureRecovery.JOB_RESTART
+    assert p.gang
+
+
+def test_bubble_policy_models_bubbles():
+    p = bubble_policy()
+    assert isinstance(p.partitioner, BubblePartitioner)
+    assert p.submission == SubmissionOrder.EAGER
+    assert p.cross_unit_shuffle == ShuffleScheme.DISK
+    assert p.effective_cross_unit_shuffle() == ShuffleScheme.DISK
+
+
+def test_restart_policy_differs_only_in_recovery():
+    p = restart_policy()
+    s = swift_policy()
+    assert p.recovery == FailureRecovery.JOB_RESTART
+    assert p.shuffle == s.shuffle
+    assert p.launch == s.launch
+    assert p.gang == s.gang
+
+
+def test_cross_unit_shuffle_defaults_to_main():
+    assert swift_policy().effective_cross_unit_shuffle() == ShuffleScheme.ADAPTIVE
+
+
+def test_override_kwargs():
+    p = spark_policy(name="spark2")
+    assert p.name == "spark2"
+    for factory in (spark_policy, jetscope_policy, bubble_policy, restart_policy,
+                    swift_policy):
+        with pytest.raises(AttributeError):
+            factory(nonsense=True)

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _experiment_registry, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in ("fig9a", "fig14", "table1", "ablation-heartbeat"):
+        assert key in out
+
+
+def test_experiment_command_runs(capsys):
+    assert main(["experiment", "fig13"]) == 0
+    out = capsys.readouterr().out
+    assert "M1" in out and "498" in out
+
+
+def test_experiment_unknown_key(capsys):
+    assert main(["experiment", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_registry_covers_every_figure_and_table():
+    keys = set(_experiment_registry())
+    for figure in ("fig3", "fig8", "fig9a", "fig9b", "fig10", "fig11",
+                   "fig12", "fig13", "fig14", "fig15", "fig16", "table1"):
+        assert figure in keys
+    assert sum(1 for k in keys if k.startswith("ablation")) >= 6
+
+
+def test_sql_command(capsys):
+    assert main([
+        "sql", "--query", "select count(*) c from nation",
+        "--scale", "1", "--machines", "4", "--execute",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "graphlets" in out
+    assert "'c': 25" in out
+
+
+def test_replay_command(capsys):
+    assert main(["replay", "--jobs", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "swift" in out and "jetscope" in out and "speedup" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_maybe_plot_renders_scalability_chart(capsys):
+    from repro.cli import _maybe_plot
+    from repro.experiments.harness import ExperimentResult
+
+    result = ExperimentResult(name="fake_scaling")
+    for executors, speedup, ideal in ((10_000, 1.0, 1.0), (20_000, 1.9, 2.0)):
+        result.add(executors=executors, makespan_s=1.0, speedup=speedup, ideal=ideal)
+    _maybe_plot(result)
+    out = capsys.readouterr().out
+    assert "o=ideal" in out and "x=measured" in out
+
+
+def test_maybe_plot_noop_for_other_results(capsys):
+    from repro.cli import _maybe_plot
+    from repro.experiments.harness import ExperimentResult
+
+    result = ExperimentResult(name="plain")
+    result.add(metric="a", value=1.0)
+    _maybe_plot(result)
+    assert capsys.readouterr().out == ""
+
+
+def test_experiment_json_output(capsys):
+    import json
+
+    assert main(["experiment", "fig13", "--json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert payload["name"] == "fig13_q13_details"
+    assert payload["rows"][0]["stage"] == "M1"

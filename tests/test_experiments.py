@@ -1,0 +1,108 @@
+"""Tests for the experiment harnesses (small-scale versions).
+
+Each test runs a reduced-size version of a paper experiment and asserts the
+*shape* (orderings, directions) the paper reports — the full-size versions
+live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import spark_policy
+from repro.core.policies import swift_policy
+from repro.experiments import (
+    ExperimentResult,
+    build_cluster,
+    fig13_q13_details,
+    fig14_fault_injection,
+    makespan,
+    mean_latency,
+    run_jobs,
+    run_single,
+    scalability_workload,
+)
+from repro.workloads import terasort, tpch
+
+
+def test_experiment_result_table_formatting():
+    result = ExperimentResult(name="demo", notes="hello")
+    result.add(a=1, b=2.5)
+    result.add(a=10, b=0.25)
+    text = result.format_table()
+    assert "demo" in text and "hello" in text
+    assert "10" in text and "2.50" in text
+    assert result.column("a") == [1, 10]
+
+
+def test_empty_result_formats():
+    assert "(no rows)" in ExperimentResult(name="empty").format_table()
+
+
+def test_build_cluster_defaults():
+    cluster = build_cluster()
+    assert cluster.n_machines == 100
+    assert cluster.total_executors() == 3200
+
+
+def test_run_single_and_makespan_helpers():
+    job = terasort.terasort_job(10, 10)
+    result = run_single(swift_policy(), job, n_machines=4, executors_per_machine=8)
+    assert result.completed
+    results, _ = run_jobs(swift_policy(), [job], n_machines=4, executors_per_machine=8)
+    assert makespan(results) == results[0].metrics.finish_time
+    assert mean_latency(results) == results[0].metrics.latency
+    with pytest.raises(ValueError):
+        makespan([])
+
+
+def test_swift_beats_spark_on_small_tpch():
+    swift_t = run_single(
+        swift_policy(), tpch.query_job(6, scale=0.2),
+    ).metrics.run_time
+    spark_t = run_single(
+        spark_policy(), tpch.query_job(6, scale=0.2),
+    ).metrics.run_time
+    assert spark_t > swift_t
+
+
+def test_terasort_speedup_grows_with_size():
+    """Table I's shape: the Swift/Spark gap widens with job size."""
+    speedups = []
+    for m, n in ((100, 100), (400, 400)):
+        swift_t = run_single(swift_policy(), terasort.terasort_job(m, n)).metrics.run_time
+        spark_t = run_single(spark_policy(), terasort.terasort_job(m, n)).metrics.run_time
+        speedups.append(spark_t / swift_t)
+    assert speedups[1] > speedups[0] > 1.0
+
+
+def test_fig13_details_match():
+    result = fig13_q13_details()
+    for row in result.rows:
+        assert row["built_tasks"] == row["paper_tasks"]
+
+
+def test_fig14_shape():
+    """Swift's fine-grained recovery stays under ~15% slowdown while job
+    restart scales with the injection time."""
+    result = fig14_fault_injection()
+    for row in result.rows:
+        assert row["swift_slowdown_pct"] < 15.0
+        assert row["restart_slowdown_pct"] > row["inject_at"] - 10.0
+
+
+def test_scalability_workload_shape():
+    jobs = scalability_workload(n_jobs=20, tasks_per_stage=16)
+    assert len(jobs) == 20
+    assert all(j.submit_time == 0.0 for j in jobs)
+    total_tasks = sum(j.dag.total_tasks() for j in jobs)
+    assert total_tasks > 20 * 16 * 0.5
+
+
+def test_result_to_json_roundtrip():
+    import json
+
+    result = ExperimentResult(name="j", notes="n")
+    result.add(a=1, b=2.5, c="x")
+    payload = json.loads(result.to_json())
+    assert payload == {"name": "j", "notes": "n", "rows": [{"a": 1, "b": 2.5, "c": "x"}]}

@@ -1,0 +1,138 @@
+"""Tests for failure classification, recovery planning, detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import Edge, JobDAG
+from repro.core.failure import (
+    MachineHealthMonitor,
+    RecoveryCase,
+    classify_failure,
+    detection_delay,
+    executed_successor_closure,
+    plan_recovery,
+)
+from repro.core.partition import partition_job
+from repro.sim.config import AdminConfig
+from repro.sim.failures import FailureKind
+
+from conftest import chain_dag, make_stage
+
+
+def two_graphlet_dag(idempotent: bool = True) -> JobDAG:
+    """S1 -(barrier)-> S2 -> S3: graphlets {S1} and {S2, S3}."""
+    return chain_dag("tg", blocking_stages=(1,), idempotent=idempotent)
+
+
+def test_classify_intra_graphlet():
+    dag = chain_dag()
+    graph = partition_job(dag)
+    assert classify_failure(dag, graph, "S2") == RecoveryCase.INTRA_GRAPHLET
+
+
+def test_classify_input_failure():
+    dag = two_graphlet_dag()
+    graph = partition_job(dag)
+    assert classify_failure(dag, graph, "S2") == RecoveryCase.INPUT_FAILURE
+
+
+def test_classify_output_failure():
+    dag = two_graphlet_dag()
+    graph = partition_job(dag)
+    assert classify_failure(dag, graph, "S1") == RecoveryCase.OUTPUT_FAILURE
+
+
+def test_classify_input_and_output():
+    dag = chain_dag("io", blocking_stages=(1, 2), n_stages=3)
+    graph = partition_job(dag)
+    assert classify_failure(dag, graph, "S2") == RecoveryCase.INPUT_AND_OUTPUT
+
+
+def test_classify_useless():
+    dag = chain_dag()
+    graph = partition_job(dag)
+    case = classify_failure(dag, graph, "S2", FailureKind.APPLICATION_ERROR)
+    assert case == RecoveryCase.USELESS
+
+
+def test_noop_when_idempotent_and_consumed():
+    dag = chain_dag()
+    graph = partition_job(dag)
+    decision = plan_recovery(
+        dag, graph, "S1", task_finished=True, output_fully_consumed=True
+    )
+    assert decision.noop
+
+
+def test_idempotent_rerun_just_the_task():
+    dag = chain_dag()
+    graph = partition_job(dag)
+    decision = plan_recovery(
+        dag, graph, "S2", task_finished=True, output_fully_consumed=False
+    )
+    assert not decision.noop
+    assert decision.rerun_stages == ("S2",)
+    # Same-graphlet predecessors re-send their cached data.
+    assert decision.resend_from == ("S1",)
+
+
+def test_non_idempotent_drags_executed_successors():
+    dag = chain_dag(idempotent=False)
+    graph = partition_job(dag)
+    decision = plan_recovery(
+        dag, graph, "S1",
+        has_executed={"S1": True, "S2": True, "S3": False},
+    )
+    assert set(decision.rerun_stages) == {"S1", "S2"}
+
+
+def test_non_idempotent_closure_stops_at_graphlet_boundary():
+    dag = chain_dag("ni", blocking_stages=(2,), idempotent=False)
+    graph = partition_job(dag)  # {S1, S2} and {S3}
+    closure = executed_successor_closure(dag, graph, "S1")
+    assert closure == ["S2"]
+
+
+def test_useless_failure_not_retried():
+    dag = chain_dag()
+    graph = partition_job(dag)
+    decision = plan_recovery(dag, graph, "S2", kind=FailureKind.APPLICATION_ERROR)
+    assert decision.case == RecoveryCase.USELESS
+    assert decision.rerun_stages == ()
+
+
+def test_input_failure_needs_no_producer_resend():
+    """Fig. 7(a): the re-launched task fetches from the producers' Cache
+    Workers; no channel updates, no re-sends."""
+    dag = two_graphlet_dag()
+    graph = partition_job(dag)
+    decision = plan_recovery(dag, graph, "S2")
+    assert decision.case == RecoveryCase.INPUT_FAILURE
+    assert decision.resend_from == ()
+    assert decision.rerun_stages == ("S2",)
+
+
+def test_detection_delay_by_kind():
+    admin = AdminConfig()
+    fast = detection_delay(FailureKind.TASK_CRASH, admin, 100)
+    assert fast == admin.self_report_latency
+    hb = detection_delay(FailureKind.MACHINE_CRASH, admin, 100)
+    assert hb == pytest.approx(2.5)  # half of the 5s small-cluster interval
+    hb_large = detection_delay(FailureKind.MACHINE_CRASH, admin, 50_000)
+    assert hb_large == pytest.approx(7.5)
+
+
+def test_detection_delay_rejects_bad_phase():
+    with pytest.raises(ValueError):
+        detection_delay(FailureKind.MACHINE_CRASH, AdminConfig(), 10, heartbeat_phase=2.0)
+
+
+def test_health_monitor_standalone():
+    monitor = MachineHealthMonitor(admin=AdminConfig())
+    threshold = monitor.admin.unhealthy_task_failures
+    for i in range(threshold - 1):
+        assert monitor.record_failure(1, now=float(i)) is False
+    assert monitor.record_failure(1, now=float(threshold)) is True
+    # Already read-only: no second notification.
+    assert monitor.record_failure(1, now=float(threshold + 1)) is False

@@ -1,0 +1,98 @@
+"""Tests for graphlets and their dependency graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import Edge, JobDAG
+from repro.core.graphlet import Graphlet, GraphletGraph
+from repro.core.partition import partition_job
+from repro.workloads import tpch
+
+from conftest import chain_dag, make_stage
+
+
+def test_dependencies_follow_cross_edges():
+    graph = partition_job(chain_dag(blocking_stages=(1,)))
+    g1, g2 = graph.graphlets
+    assert graph.dependencies[g1.graphlet_id] == set()
+    assert graph.dependencies[g2.graphlet_id] == {g1.graphlet_id}
+
+
+def test_submission_order_is_topological():
+    graph = partition_job(tpch.query_dag(9))
+    order = graph.submission_order()
+    position = {gid: i for i, gid in enumerate(order)}
+    for gid, deps in graph.dependencies.items():
+        for dep in deps:
+            assert position[dep] < position[gid]
+
+
+def test_q9_submission_order_matches_paper():
+    """Section III-A2: graphlet 1 first, then 2 (after J4), 3, then 4."""
+    graph = partition_job(tpch.query_dag(9))
+    by_stages = {frozenset(g.stage_names): g.graphlet_id for g in graph.graphlets}
+    order = graph.submission_order()
+    g1 = by_stages[frozenset({"M1", "M2", "M3", "J4"})]
+    g2 = by_stages[frozenset({"M5", "J6"})]
+    g4 = by_stages[frozenset({"R11", "R12"})]
+    assert order.index(g1) < order.index(g2) < order.index(g4)
+
+
+def test_cross_and_internal_edges():
+    dag = chain_dag(blocking_stages=(1,))
+    graph = partition_job(dag)
+    cross = graph.cross_edges()
+    assert [(e.src, e.dst) for e in cross] == [("S1", "S2")]
+    g2 = graph.graphlet_of("S2")
+    internal = graph.internal_edges(g2.graphlet_id)
+    assert [(e.src, e.dst) for e in internal] == [("S2", "S3")]
+
+
+def test_graphlet_of_and_lookup():
+    graph = partition_job(chain_dag())
+    g = graph.graphlet_of("S2")
+    assert "S2" in g
+    assert graph.graphlet(g.graphlet_id) is g
+    with pytest.raises(KeyError):
+        graph.graphlet(999)
+
+
+def test_task_count():
+    dag = chain_dag(tasks=5)
+    graph = partition_job(dag)
+    assert graph.graphlets[0].task_count(dag) == 15
+
+
+def test_uncovered_stage_rejected():
+    dag = chain_dag()
+    with pytest.raises(ValueError):
+        GraphletGraph(dag=dag, graphlets=[
+            Graphlet(graphlet_id=1, stage_names=["S1"], trigger_stage="S1"),
+        ])
+
+
+def test_unknown_stage_rejected():
+    dag = chain_dag()
+    with pytest.raises(ValueError):
+        GraphletGraph(dag=dag, graphlets=[
+            Graphlet(graphlet_id=1, stage_names=["S1", "S2", "S3", "ghost"],
+                     trigger_stage="S1"),
+        ])
+
+
+def test_cyclic_graphlet_dependencies_detected():
+    # Hand-build a graphlet graph whose units depend on each other.
+    stages = [make_stage("a", blocking=True), make_stage("b", blocking=True)]
+    dag = JobDAG("j", stages, [Edge("a", "b")])
+    graph = GraphletGraph(
+        dag=dag,
+        graphlets=[
+            Graphlet(graphlet_id=1, stage_names=["a"], trigger_stage="a"),
+            Graphlet(graphlet_id=2, stage_names=["b"], trigger_stage="b"),
+        ],
+        dependencies={1: {2}, 2: {1}},
+        stage_to_graphlet={"a": 1, "b": 2},
+    )
+    with pytest.raises(ValueError):
+        graph.submission_order()

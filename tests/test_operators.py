@@ -1,0 +1,46 @@
+"""Tests for the operator vocabulary and blocking classification."""
+
+from __future__ import annotations
+
+from repro.core.operators import (
+    BLOCKING_OPERATORS,
+    Operator,
+    OperatorKind,
+    ops,
+    stage_is_blocking,
+)
+
+
+def test_paper_blocking_set():
+    # Section III-A1 lists exactly these global-sort operators.
+    expected = {
+        OperatorKind.STREAMED_AGGREGATE,
+        OperatorKind.MERGE_JOIN,
+        OperatorKind.WINDOW,
+        OperatorKind.SORT_BY,
+        OperatorKind.MERGE_SORT,
+    }
+    assert BLOCKING_OPERATORS == frozenset(expected)
+
+
+def test_streaming_operators_not_blocking():
+    for kind in (OperatorKind.TABLE_SCAN, OperatorKind.FILTER,
+                 OperatorKind.HASH_JOIN, OperatorKind.HASH_AGGREGATE,
+                 OperatorKind.SHUFFLE_READ, OperatorKind.SHUFFLE_WRITE):
+        assert not Operator(kind).is_blocking
+
+
+def test_ops_builder():
+    chain = ops(OperatorKind.TABLE_SCAN, OperatorKind.FILTER)
+    assert [op.kind for op in chain] == [OperatorKind.TABLE_SCAN, OperatorKind.FILTER]
+
+
+def test_stage_is_blocking():
+    assert stage_is_blocking(ops(OperatorKind.SHUFFLE_READ, OperatorKind.MERGE_SORT))
+    assert not stage_is_blocking(ops(OperatorKind.SHUFFLE_READ, OperatorKind.FILTER))
+    assert not stage_is_blocking(())
+
+
+def test_operator_str():
+    assert str(Operator(OperatorKind.MERGE_JOIN)) == "MergeJoin"
+    assert str(Operator(OperatorKind.MERGE_JOIN, "on x")) == "MergeJoin(on x)"

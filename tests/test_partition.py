@@ -1,0 +1,173 @@
+"""Tests for job partitioning: Algorithms 1-2 and the baseline partitioners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import Edge, EdgeMode, JobDAG
+from repro.core.partition import (
+    BubblePartitioner,
+    StagePartitioner,
+    SwiftPartitioner,
+    WholeJobPartitioner,
+    partition_job,
+)
+from repro.workloads import tpch
+
+from conftest import chain_dag, diamond_dag, make_stage
+
+
+def graphlet_sets(graph):
+    return [frozenset(g.stage_names) for g in graph.graphlets]
+
+
+def test_pipeline_chain_is_one_graphlet():
+    graph = partition_job(chain_dag())
+    assert len(graph) == 1
+    assert graphlet_sets(graph) == [frozenset({"S1", "S2", "S3"})]
+
+
+def test_barrier_splits_graphlets():
+    graph = partition_job(chain_dag(blocking_stages=(1,)))
+    assert graphlet_sets(graph) == [frozenset({"S1"}), frozenset({"S2", "S3"})]
+
+
+def test_all_barriers_yield_per_stage_graphlets():
+    graph = partition_job(chain_dag(blocking_stages=(1, 2)))
+    assert len(graph) == 3
+
+
+def test_partition_covers_every_stage_exactly_once():
+    dag = diamond_dag(blocking_mid=True)
+    graph = partition_job(dag)
+    names = [n for g in graph.graphlets for n in g.stage_names]
+    assert sorted(names) == sorted(dag.stages)
+
+
+def test_partition_scans_both_directions():
+    # A join whose two scan inputs are pipeline edges must absorb both
+    # scans even though the scan comes *before* the trigger stage.
+    stages = [make_stage("m1", scan_mb=1), make_stage("m2", scan_mb=1), make_stage("j")]
+    dag = JobDAG("j", stages, [Edge("m1", "j"), Edge("m2", "j")])
+    graph = partition_job(dag)
+    assert len(graph) == 1
+
+
+def test_q9_partitions_into_four_graphlets():
+    """The paper's Fig. 4 example: Q9 splits into exactly 4 graphlets."""
+    graph = partition_job(tpch.query_dag(9))
+    assert len(graph) == 4
+    sets = graphlet_sets(graph)
+    assert frozenset({"M1", "M2", "M3", "J4"}) in sets
+    assert frozenset({"M5", "J6"}) in sets
+    assert frozenset({"M7", "M8", "R9", "J10"}) in sets
+    assert frozenset({"R11", "R12"}) in sets
+
+
+def test_q9_trigger_stages():
+    graph = partition_job(tpch.query_dag(9))
+    triggers = {g.trigger_stage for g in graph.graphlets}
+    # Each graphlet's scan starts from the first remaining stage in
+    # topological order (Algorithm 1 line 2).
+    assert "M1" in triggers
+
+
+def test_whole_job_partitioner():
+    dag = chain_dag(blocking_stages=(1, 2))
+    graph = WholeJobPartitioner().partition(dag)
+    assert len(graph) == 1
+    assert graph.has_internal_barriers()
+
+
+def test_stage_partitioner():
+    dag = chain_dag()
+    graph = StagePartitioner().partition(dag)
+    assert len(graph) == 3
+    assert not graph.has_internal_barriers()
+
+
+def test_swift_partition_never_has_internal_barriers():
+    for dag in (chain_dag(blocking_stages=(2,)), diamond_dag(blocking_mid=True),
+                tpch.query_dag(9), tpch.query_dag(13)):
+        graph = partition_job(dag)
+        assert not graph.has_internal_barriers()
+
+
+def test_bubble_partitioner_respects_memory_budget():
+    # A tiny budget forces the bubble partitioner to cut pipeline edges.
+    dag = chain_dag()
+    tight = BubblePartitioner(memory_budget_bytes=1.0).partition(dag)
+    loose = BubblePartitioner(memory_budget_bytes=1e15).partition(dag)
+    assert len(tight) == 3
+    assert len(loose) == 1
+
+
+def test_bubble_partitioner_rejects_bad_budget():
+    with pytest.raises(ValueError):
+        BubblePartitioner(memory_budget_bytes=0)
+
+
+def test_deep_chain_no_recursion_limit():
+    # Algorithm 2 is recursive in the paper; our iterative form must
+    # handle DAGs deeper than Python's recursion limit.
+    dag = chain_dag(n_stages=2000, tasks=1)
+    graph = partition_job(dag)
+    assert len(graph) == 1
+
+
+def test_partitioner_names():
+    assert SwiftPartitioner().name == "swift"
+    assert WholeJobPartitioner().name == "whole_job"
+    assert StagePartitioner().name == "per_stage"
+    assert BubblePartitioner().name == "bubble"
+
+
+def cyclic_graphlet_dag() -> JobDAG:
+    """A DAG where raw Algorithms 1-2 produce mutually-dependent graphlets.
+
+    u -> v (pipeline), u -> c (pipeline), v -> s (barrier, v blocking),
+    s -> d (barrier, s blocking), c -> d (pipeline): the raw scan groups
+    {u, v, c, d} (pipeline-connected) and {s}; then {u,v,c,d} needs s for d
+    while {s} needs v — a dependency cycle.
+    """
+    stages = [
+        make_stage("u"),
+        make_stage("v", blocking=True),
+        make_stage("c"),
+        make_stage("s", blocking=True),
+        make_stage("d"),
+    ]
+    edges = [
+        Edge("u", "v"), Edge("u", "c"), Edge("v", "s"),
+        Edge("s", "d"), Edge("c", "d"),
+    ]
+    return JobDAG("cyclic_units", stages, edges)
+
+
+def test_raw_partition_can_be_cyclic():
+    graph = SwiftPartitioner(enforce_acyclic=False).partition(cyclic_graphlet_dag())
+    with pytest.raises(ValueError):
+        graph.submission_order()
+
+
+def test_acyclic_enforcement_breaks_cycles():
+    graph = SwiftPartitioner().partition(cyclic_graphlet_dag())
+    order = graph.submission_order()  # must not raise
+    position = {gid: i for i, gid in enumerate(order)}
+    for gid, deps in graph.dependencies.items():
+        for dep in deps:
+            assert position[dep] < position[gid]
+    # Every stage still covered exactly once.
+    names = sorted(n for g in graph.graphlets for n in g.stage_names)
+    assert names == sorted(cyclic_graphlet_dag().stages)
+
+
+def test_cyclic_dag_executes_end_to_end():
+    from repro.core.policies import swift_policy
+    from repro.core.runtime import SwiftRuntime
+    from repro.core.dag import Job
+    from repro.sim.cluster import Cluster
+
+    runtime = SwiftRuntime(Cluster.build(4, 16), swift_policy())
+    result = runtime.execute(Job(dag=cyclic_graphlet_dag()))
+    assert result.completed

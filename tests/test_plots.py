@@ -1,0 +1,51 @@
+"""Tests for the text plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plots import bar_chart, sparkline, xy_plot
+
+
+def test_sparkline_basic():
+    line = sparkline([0, 1, 2, 3, 4, 5])
+    assert len(line) == 6
+    assert line[0] == " " and line[-1] == "@"
+
+
+def test_sparkline_empty_and_flat():
+    assert sparkline([]) == ""
+    assert set(sparkline([0, 0, 0])) == {" "}
+
+
+def test_sparkline_downsamples():
+    assert len(sparkline(list(range(1000)), width=50)) <= 50
+
+
+def test_bar_chart_alignment():
+    chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="s")
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+    assert "1.00s" in lines[0]
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    assert bar_chart([], []) == ""
+
+
+def test_xy_plot_contains_markers_and_legend():
+    text = xy_plot([1, 2, 3], {"ideal": [1, 2, 3], "measured": [1, 1.8, 2.5]})
+    assert "o=ideal" in text
+    assert "x=measured" in text
+    assert "o" in text and "x" in text
+    assert "x: 1 .. 3" in text
+
+
+def test_xy_plot_length_mismatch():
+    with pytest.raises(ValueError):
+        xy_plot([1, 2], {"a": [1.0]})
+    assert xy_plot([], {}) == ""

@@ -1,0 +1,307 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import Edge, EdgeMode, JobDAG, Stage
+from repro.core.metrics import four_quartile_summary, quantile, utilization_series
+from repro.core.operators import OperatorKind as K, ops
+from repro.core.partition import BubblePartitioner, partition_job
+from repro.core.shuffle import ShuffleScheme, connection_count, select_scheme
+from repro.sim.cluster import Cluster
+from repro.sim.config import CacheWorkerConfig, DiskConfig, ShuffleConfig, SimConfig
+from repro.core.cache_worker import CacheWorker
+from repro.sim.disk import DiskModel
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# Random layered DAGs
+# ----------------------------------------------------------------------
+
+@st.composite
+def layered_dags(draw):
+    """Random layered DAGs: every stage in layer i feeds >=1 stage in some
+    later layer, so the graph is acyclic by construction."""
+    n_layers = draw(st.integers(min_value=1, max_value=5))
+    layer_sizes = [draw(st.integers(min_value=1, max_value=3)) for _ in range(n_layers)]
+    stages: list[Stage] = []
+    names_by_layer: list[list[str]] = []
+    for layer, size in enumerate(layer_sizes):
+        names = []
+        for i in range(size):
+            name = f"L{layer}N{i}"
+            blocking = draw(st.booleans())
+            operators = ops(K.SHUFFLE_READ, K.MERGE_SORT if blocking else K.FILTER)
+            stages.append(
+                Stage(
+                    name=name,
+                    task_count=draw(st.integers(min_value=1, max_value=6)),
+                    operators=operators,
+                    output_bytes_per_task=float(draw(st.integers(0, 10))) * 1e6,
+                    work_seconds_per_task=1.0,
+                )
+            )
+            names.append(name)
+        names_by_layer.append(names)
+    edges: list[Edge] = []
+    seen: set[tuple[str, str]] = set()
+    for layer in range(1, n_layers):
+        for dst in names_by_layer[layer]:
+            n_preds = draw(st.integers(min_value=1, max_value=len(names_by_layer[layer - 1])))
+            for src in names_by_layer[layer - 1][:n_preds]:
+                if (src, dst) not in seen:
+                    seen.add((src, dst))
+                    edges.append(Edge(src, dst))
+    return JobDAG("prop", stages, edges)
+
+
+@given(layered_dags())
+@settings(max_examples=60, deadline=None)
+def test_partition_covers_each_stage_exactly_once(dag):
+    graph = partition_job(dag)
+    names = sorted(n for g in graph.graphlets for n in g.stage_names)
+    assert names == sorted(dag.stages)
+
+
+@given(layered_dags())
+@settings(max_examples=60, deadline=None)
+def test_internal_barriers_only_via_pipeline_bridges(dag):
+    """Algorithm 2 groups stages along pipeline edges, so a barrier edge can
+    land inside a graphlet only when its endpoints are *also* connected by a
+    pipeline path (a diamond with one blocking arm).  Verify exactly that."""
+    graph = partition_job(dag)
+    # Union-find over pipeline edges.
+    parent = {name: name for name in dag.stages}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in dag.edges:
+        if dag.edge_mode(edge) == EdgeMode.PIPELINE:
+            parent[find(edge.src)] = find(edge.dst)
+    for edge in dag.edges:
+        same_unit = (
+            graph.stage_to_graphlet[edge.src] == graph.stage_to_graphlet[edge.dst]
+        )
+        if same_unit and dag.edge_mode(edge) == EdgeMode.BARRIER:
+            assert find(edge.src) == find(edge.dst)
+
+
+@given(layered_dags())
+@settings(max_examples=60, deadline=None)
+def test_raw_partition_keeps_pipeline_components_together(dag):
+    """Raw Algorithms 1-2 (no acyclicity enforcement): any two stages joined
+    by a pipeline edge land in the same graphlet."""
+    from repro.core.partition import SwiftPartitioner
+
+    graph = SwiftPartitioner(enforce_acyclic=False).partition(dag)
+    for edge in dag.edges:
+        if dag.edge_mode(edge) == EdgeMode.PIPELINE:
+            assert graph.stage_to_graphlet[edge.src] == graph.stage_to_graphlet[edge.dst]
+
+
+@given(layered_dags())
+@settings(max_examples=40, deadline=None)
+def test_graphlet_submission_order_is_always_topological(dag):
+    graph = partition_job(dag)
+    order = graph.submission_order()
+    position = {gid: i for i, gid in enumerate(order)}
+    for gid, deps in graph.dependencies.items():
+        for dep in deps:
+            assert position[dep] < position[gid]
+
+
+@given(layered_dags(), st.floats(min_value=1e3, max_value=1e12))
+@settings(max_examples=30, deadline=None)
+def test_bubble_partition_also_covers_all_stages(dag, budget):
+    graph = BubblePartitioner(memory_budget_bytes=budget).partition(dag)
+    names = sorted(n for g in graph.graphlets for n in g.stage_names)
+    assert names == sorted(dag.stages)
+
+
+# ----------------------------------------------------------------------
+# Shuffle formulas
+# ----------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_local_never_more_connections_than_direct_when_y_small(m, n, y):
+    if y * (y - 1) // 2 <= m * n - m - n:  # the paper's regime: Y << M, N
+        local = connection_count(ShuffleScheme.LOCAL, m, n, y)
+        direct = connection_count(ShuffleScheme.DIRECT, m, n, y)
+        assert local <= direct
+
+
+@given(st.integers(min_value=0, max_value=10**7))
+@settings(max_examples=100)
+def test_adaptive_selection_total(edge_size):
+    scheme = select_scheme(edge_size, ShuffleConfig())
+    assert scheme in (ShuffleScheme.DIRECT, ShuffleScheme.REMOTE, ShuffleScheme.LOCAL)
+    if edge_size <= 10_000:
+        assert scheme == ShuffleScheme.DIRECT
+    elif edge_size <= 90_000:
+        assert scheme == ShuffleScheme.REMOTE
+    else:
+        assert scheme == ShuffleScheme.LOCAL
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=200))
+@settings(max_examples=100)
+def test_quantile_bounded_and_monotone(values):
+    q25 = quantile(values, 0.25)
+    q75 = quantile(values, 0.75)
+    assert min(values) <= q25 <= q75 <= max(values)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+@settings(max_examples=100)
+def test_four_quartile_summary_invariants(values):
+    summary = four_quartile_summary(values)
+    assert summary["min"] <= summary["q1"] <= summary["median"]
+    assert summary["median"] <= summary["q3"] <= summary["max"]
+    assert summary["min"] <= summary["iq_mean"] <= summary["max"]
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+            lambda p: (min(p), max(p))
+        ),
+        max_size=50,
+    )
+)
+@settings(max_examples=60)
+def test_utilization_series_never_negative_and_ends_at_zero(intervals):
+    horizon = max((e for _, e in intervals), default=0.0) + 1.0
+    series = utilization_series(intervals, step=1.0, horizon=horizon)
+    assert all(s.running_executors >= 0 for s in series)
+    assert series[-1].running_executors == 0
+
+
+# ----------------------------------------------------------------------
+# Cache worker accounting
+# ----------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),        # edge id
+            st.floats(min_value=0, max_value=40 * 1024**2),  # bytes
+            st.integers(min_value=1, max_value=3),        # consumers
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_worker_memory_never_exceeds_capacity(operations):
+    config = CacheWorkerConfig(memory_capacity=100 * 1024**2)
+    worker = CacheWorker(0, config, DiskModel(DiskConfig()))
+    for t, (edge, n_bytes, consumers) in enumerate(operations):
+        worker.write("job", f"e{edge}", n_bytes, consumers, now=float(t))
+        assert worker.bytes_in_memory <= config.memory_capacity + 1e-6
+        assert worker.bytes_in_memory >= 0
+    worker.release_job("job")
+    assert worker.bytes_in_memory == 0.0
+    assert len(worker) == 0
+
+
+# ----------------------------------------------------------------------
+# Event engine ordering
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=100))
+@settings(max_examples=60)
+def test_simulator_executes_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    executed: list[float] = []
+    for delay in delays:
+        sim.schedule(delay, lambda: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)
+
+
+# ----------------------------------------------------------------------
+# End-to-end smoke over random DAGs
+# ----------------------------------------------------------------------
+
+@given(layered_dags())
+@settings(max_examples=20, deadline=None)
+def test_runtime_completes_any_layered_dag(dag):
+    from repro.core.policies import swift_policy
+    from repro.core.runtime import SwiftRuntime
+    from repro.core.dag import Job
+
+    cluster = Cluster.build(4, 16)
+    runtime = SwiftRuntime(cluster, swift_policy())
+    result = runtime.execute(Job(dag=dag))
+    assert result.completed
+    assert len(result.metrics.tasks) >= dag.total_tasks()
+    assert cluster.free_executor_count() == cluster.total_executors()
+    assert math.isfinite(result.metrics.run_time)
+
+
+@given(layered_dags())
+@settings(max_examples=15, deadline=None)
+def test_runtime_barrier_edges_never_start_before_producer(dag):
+    """Causality: a consumer's data never arrives before every barrier
+    producer stage has finished, on arbitrary DAGs."""
+    from repro.core.dag import Job
+    from repro.core.policies import swift_policy
+    from repro.core.runtime import SwiftRuntime
+
+    runtime = SwiftRuntime(Cluster.build(4, 16), swift_policy())
+    result = runtime.execute(Job(dag=dag))
+    assert result.completed
+    finish_by_stage: dict[str, float] = {}
+    for t in result.metrics.tasks:
+        finish_by_stage[t.stage] = max(finish_by_stage.get(t.stage, 0.0), t.finish)
+    graph = runtime.job_runs[dag.job_id].graphlets
+    for edge in dag.edges:
+        cross = graph.stage_to_graphlet[edge.src] != graph.stage_to_graphlet[edge.dst]
+        if not cross and dag.edge_mode(edge) == EdgeMode.PIPELINE:
+            continue
+        producer_finish = finish_by_stage[edge.src]
+        consumer_data = min(
+            t.data_arrive for t in result.metrics.tasks if t.stage == edge.dst
+        )
+        assert consumer_data >= producer_finish - 1e-6
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            "select from where group by order limit join on and or not "
+            "( ) , . * = < > <> 'str' 1 2.5 ident tbl sum case when then "
+            "else end in between is null as".split()
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_parser_total_on_token_soup(words):
+    """The parser either parses or raises ParseError — never crashes."""
+    from repro.sql.parser import ParseError, parse
+
+    source = "select " + " ".join(words)
+    try:
+        parse(source)
+    except ParseError:
+        pass

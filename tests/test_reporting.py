@@ -1,0 +1,36 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.reporting import _markdown_table, _sections
+
+
+def test_markdown_table_rendering():
+    result = ExperimentResult(name="t")
+    result.add(metric="a", value=1.234, label="x")
+    result.add(metric="b", value=2.0, label="y")
+    table = _markdown_table(result)
+    lines = table.splitlines()
+    assert lines[0] == "| metric | value | label |"
+    assert lines[1] == "|---|---|---|"
+    assert "| a | 1.23 | x |" in table
+
+
+def test_markdown_table_empty():
+    assert _markdown_table(ExperimentResult(name="e")) == "_(no rows)_"
+
+
+def test_sections_cover_every_figure_and_table():
+    keys = {section.key for section in _sections(quick=True)}
+    for expected in ("fig3", "fig8", "fig9a", "fig9b", "table1", "fig10",
+                     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"):
+        assert expected in keys
+    assert sum(1 for k in keys if k.startswith("ablation")) >= 6
+
+
+def test_sections_have_paper_claims():
+    for section in _sections(quick=True):
+        assert section.paper_claim
+        assert section.title
+        assert callable(section.runner)

@@ -1,0 +1,135 @@
+"""Runtime edge cases and resource-leak regressions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import bubble_policy, spark_policy
+from repro.core.dag import Edge, Job, JobDAG
+from repro.core.policies import SubmissionOrder, swift_policy
+from repro.core.runtime import SwiftRuntime, TaskState
+from repro.sim.cluster import Cluster
+from repro.sim.failures import FailureKind, FailurePlan, FailureSpec
+
+from conftest import as_job, chain_dag, diamond_dag, make_stage
+
+
+def test_no_connection_leak_after_failures():
+    dag = chain_dag("leak", blocking_stages=(1,), tasks=4)
+    plan = FailurePlan([
+        FailureSpec(kind=FailureKind.TASK_CRASH, stage="S2", at_fraction=0.5),
+    ])
+    runtime = SwiftRuntime(
+        Cluster.build(4, 8), swift_policy(), failure_plan=plan,
+        reference_duration=4.0,
+    )
+    result = runtime.execute(as_job(dag))
+    assert result.completed
+    assert runtime.cluster.network.open_connections == 0
+
+
+def test_no_executor_leak_after_restart():
+    dag = chain_dag("leak2", tasks=4, n_stages=2)
+    baseline = SwiftRuntime(Cluster.build(4, 8), swift_policy()).execute(
+        as_job(chain_dag("leak0", tasks=4, n_stages=2))
+    ).metrics.run_time
+    from repro.baselines import restart_policy
+    plan = FailurePlan([
+        FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.4),
+    ])
+    runtime = SwiftRuntime(
+        Cluster.build(4, 8), restart_policy(), failure_plan=plan,
+        reference_duration=baseline,
+    )
+    result = runtime.execute(as_job(dag))
+    assert result.completed
+    cluster = runtime.cluster
+    assert cluster.free_executor_count() == cluster.total_executors()
+
+
+def test_single_task_job():
+    dag = JobDAG("tiny", [make_stage("only", tasks=1, scan_mb=1, work=0.5)], [])
+    result = SwiftRuntime(Cluster.build(1, 1), swift_policy()).execute(Job(dag=dag))
+    assert result.completed
+    assert len(result.metrics.tasks) == 1
+
+
+def test_zero_work_stage():
+    dag = JobDAG("zero", [make_stage("s", tasks=2, work=0.0)], [])
+    result = SwiftRuntime(Cluster.build(2, 4), swift_policy()).execute(Job(dag=dag))
+    assert result.completed
+    assert result.metrics.run_time < 1.0
+
+
+def test_wide_fanin_join():
+    scans = [make_stage(f"m{i}", tasks=2, scan_mb=4) for i in range(8)]
+    join = make_stage("j", tasks=4, blocking=True)
+    dag = JobDAG("fanin", scans + [join], [Edge(s.name, "j") for s in scans])
+    result = SwiftRuntime(Cluster.build(4, 8), swift_policy()).execute(Job(dag=dag))
+    assert result.completed
+    j_data = min(t.data_arrive for t in result.metrics.tasks if t.stage == "j")
+    for s in scans:
+        s_start = min(t.plan_arrive for t in result.metrics.tasks if t.stage == s.name)
+        assert s_start <= j_data
+
+
+def test_wide_fanout_broadcast():
+    src = make_stage("src", tasks=2, scan_mb=4, blocking=True)
+    sinks = [make_stage(f"r{i}", tasks=2) for i in range(6)]
+    dag = JobDAG("fanout", [src] + sinks, [Edge("src", s.name) for s in sinks])
+    result = SwiftRuntime(Cluster.build(4, 8), swift_policy()).execute(Job(dag=dag))
+    assert result.completed
+    assert len({t.stage for t in result.metrics.tasks}) == 7
+
+
+def test_bubble_eager_submission_under_contention():
+    """Eagerly-submitted downstream bubbles hold executors; jobs still all
+    finish when the cluster is tight."""
+    jobs = [as_job(chain_dag(f"b{i}", blocking_stages=(1,), tasks=4), submit_time=i * 0.1)
+            for i in range(6)]
+    runtime = SwiftRuntime(Cluster.build(4, 16), bubble_policy())
+    runtime.submit_all(jobs)
+    results = runtime.run()
+    assert len(results) == 6 and all(r.completed for r in results)
+
+
+def test_spark_multiple_jobs_waves():
+    jobs = [as_job(chain_dag(f"s{i}", tasks=12, n_stages=2), submit_time=float(i))
+            for i in range(3)]
+    runtime = SwiftRuntime(Cluster.build(2, 8), spark_policy())
+    runtime.submit_all(jobs)
+    results = runtime.run()
+    assert all(r.completed for r in results)
+
+
+def test_machine_crash_with_idle_machine_pool():
+    """After a machine dies, subsequent units land on surviving machines."""
+    dag = chain_dag("mc2", blocking_stages=(1,), tasks=4)
+    baseline = SwiftRuntime(Cluster.build(4, 8), swift_policy()).execute(
+        as_job(chain_dag("mc0", blocking_stages=(1,), tasks=4))
+    ).metrics.run_time
+    plan = FailurePlan([
+        FailureSpec(kind=FailureKind.MACHINE_CRASH, machine_id=0, at_fraction=0.2),
+    ])
+    runtime = SwiftRuntime(
+        Cluster.build(4, 8), swift_policy(), failure_plan=plan,
+        reference_duration=baseline,
+    )
+    result = runtime.execute(as_job(dag))
+    assert result.completed
+    dead = runtime.cluster.machines[0]
+    for inst_list in (sr.instances for sr in runtime.job_runs["mc2"].stage_runs.values()):
+        for inst in inst_list:
+            assert inst.executor is None
+    assert not dead.accepts_tasks
+
+
+def test_instances_all_finished_at_end():
+    runtime = SwiftRuntime(Cluster.build(4, 8), swift_policy())
+    runtime.execute(as_job(diamond_dag(blocking_mid=True)))
+    for sr in runtime.job_runs["diamond"].stage_runs.values():
+        for inst in sr.instances:
+            assert inst.state == TaskState.FINISHED
+            assert math.isfinite(inst.finish_time)

@@ -1,0 +1,170 @@
+"""Runtime tests: failure injection and recovery policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import restart_policy
+from repro.core.policies import swift_policy
+from repro.core.runtime import SwiftRuntime
+from repro.sim.cluster import Cluster, MachineState
+from repro.sim.failures import FailureKind, FailurePlan, FailureSpec
+
+from conftest import as_job, chain_dag
+
+
+def run_with_failures(dag, specs, policy=None, machines=4, executors=8,
+                      reference=None):
+    if reference is None:
+        baseline_runtime = SwiftRuntime(
+            Cluster.build(machines, executors), policy or swift_policy()
+        )
+        reference = baseline_runtime.execute(as_job(dag)).metrics.run_time
+    runtime = SwiftRuntime(
+        Cluster.build(machines, executors),
+        policy or swift_policy(),
+        failure_plan=FailurePlan(list(specs)),
+        reference_duration=reference,
+    )
+    result = runtime.execute(as_job(dag))
+    return result, reference, runtime
+
+
+def baseline_time(dag, policy=None, machines=4, executors=8):
+    runtime = SwiftRuntime(Cluster.build(machines, executors), policy or swift_policy())
+    return runtime.execute(as_job(dag)).metrics.run_time
+
+
+def test_task_crash_mid_stage_recovers_and_completes():
+    dag = chain_dag("crash", blocking_stages=(1,), tasks=4)
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.2)
+    result, reference, _ = run_with_failures(dag, [spec])
+    assert result.completed
+    assert result.metrics.failures == 1
+    assert result.metrics.run_time >= reference
+
+
+def test_fine_grained_beats_job_restart():
+    dag = chain_dag("cmp", blocking_stages=(1,), tasks=4, n_stages=4)
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S2", at_fraction=0.6)
+    fine, reference, _ = run_with_failures(dag, [spec])
+    restart, _, _ = run_with_failures(dag, [spec], policy=restart_policy(),
+                                      reference=reference)
+    assert fine.metrics.run_time <= restart.metrics.run_time
+    assert restart.metrics.restarts == 1
+    assert fine.metrics.restarts == 0
+
+
+def test_restart_slowdown_tracks_injection_time():
+    """Restarting at fraction f of the job costs ~f extra (Fig. 14)."""
+    dag = chain_dag("r", blocking_stages=(1,), tasks=4, n_stages=3)
+    reference = baseline_time(dag, restart_policy())
+    for fraction in (0.3, 0.7):
+        spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=fraction)
+        result, _, _ = run_with_failures(dag, [spec], policy=restart_policy(),
+                                         reference=reference)
+        slowdown = result.metrics.run_time / reference - 1.0
+        assert slowdown == pytest.approx(fraction, abs=0.15)
+
+
+def test_failure_after_output_consumed_is_noop():
+    """Idempotent task whose consumers already read its data: no recovery
+    action, no slowdown (the paper's M2-at-t20 case)."""
+    dag = chain_dag("noop", blocking_stages=(1,), tasks=4)
+    reference = baseline_time(dag)
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.95)
+    result, _, _ = run_with_failures(dag, [spec], reference=reference)
+    assert result.metrics.run_time == pytest.approx(reference, rel=0.02)
+
+
+def test_non_idempotent_failure_reruns_successors():
+    ni = chain_dag("ni", tasks=2, n_stages=3, idempotent=False)
+    idem = chain_dag("id", tasks=2, n_stages=3, idempotent=True)
+    reference_ni = baseline_time(ni)
+    reference_id = baseline_time(idem)
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.5)
+    r_ni, _, _ = run_with_failures(ni, [spec], reference=reference_ni)
+    r_id, _, _ = run_with_failures(idem, [spec], reference=reference_id)
+    ni_slow = r_ni.metrics.run_time - reference_ni
+    id_slow = r_id.metrics.run_time - reference_id
+    assert ni_slow >= id_slow
+
+
+def test_application_error_fails_job_without_retry():
+    dag = chain_dag("app", tasks=2)
+    spec = FailureSpec(kind=FailureKind.APPLICATION_ERROR, stage="S1", at_fraction=0.3)
+    result, _, runtime = run_with_failures(dag, [spec])
+    assert result.failed
+    assert not result.completed
+    # Resources are reclaimed.
+    assert runtime.cluster.free_executor_count() == runtime.cluster.total_executors()
+
+
+def test_machine_crash_marks_machine_dead_and_recovers():
+    dag = chain_dag("mc", tasks=4, n_stages=2)
+    spec = FailureSpec(kind=FailureKind.MACHINE_CRASH, machine_id=0, at_fraction=0.3)
+    result, reference, runtime = run_with_failures(dag, [spec])
+    assert runtime.cluster.machines[0].state == MachineState.DEAD
+    assert result.completed
+    assert result.metrics.run_time >= reference
+
+
+def test_machine_crash_detection_uses_heartbeat_delay():
+    dag = chain_dag("hb", tasks=2, n_stages=1)
+    reference = baseline_time(dag)
+    crash = FailureSpec(kind=FailureKind.MACHINE_CRASH, machine_id=0, at_fraction=0.3)
+    task = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.3)
+    r_crash, _, _ = run_with_failures(dag, [crash], reference=reference)
+    r_task, _, _ = run_with_failures(dag, [task], reference=reference)
+    # Heartbeat detection (seconds) is slower than self-report (50ms).
+    assert r_crash.metrics.run_time > r_task.metrics.run_time
+
+
+def test_repeated_failures_quarantine_machine():
+    dag = chain_dag("q", tasks=8, n_stages=1)
+    specs = [
+        FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", task_index=i,
+                    at_fraction=0.1 + 0.02 * i)
+        for i in range(8)
+    ]
+    result, _, runtime = run_with_failures(dag, specs, machines=1, executors=16)
+    assert result.completed
+    assert runtime.admin.stats.machines_marked_read_only >= 1
+
+
+def test_failure_on_finished_job_is_ignored():
+    dag = chain_dag("late", tasks=2, n_stages=1)
+    reference = baseline_time(dag)
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1",
+                       at_time=reference * 10)
+    result, _, _ = run_with_failures(dag, [spec], reference=reference)
+    assert result.completed
+    assert result.metrics.run_time == pytest.approx(reference, rel=0.01)
+
+
+def test_restart_preserves_submit_time_latency():
+    dag = chain_dag("lat", tasks=2, n_stages=2)
+    reference = baseline_time(dag, restart_policy())
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.5)
+    result, _, _ = run_with_failures(dag, [spec], policy=restart_policy(),
+                                     reference=reference)
+    assert result.metrics.latency >= result.metrics.run_time
+    assert result.metrics.failures == 1
+
+
+def test_process_restart_relaunches_executor_and_recovers():
+    from repro.sim.cluster import ExecutorState
+
+    dag = chain_dag("pr", tasks=2, n_stages=1)
+    reference = baseline_time(dag)
+    spec = FailureSpec(kind=FailureKind.PROCESS_RESTART, stage="S1",
+                       at_fraction=0.4)
+    result, _, runtime = run_with_failures(dag, [spec], reference=reference)
+    assert result.completed
+    assert result.metrics.run_time > reference
+    # The relaunched executor got a fresh PID and returned to the pool.
+    pids = [e.pid for e in runtime.cluster.iter_executors()]
+    assert any(p > 1_000_000 for p in pids)
+    assert all(
+        e.state == ExecutorState.IDLE for e in runtime.cluster.iter_executors()
+    )

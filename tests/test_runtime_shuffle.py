@@ -1,0 +1,95 @@
+"""Runtime integration tests: shuffle schemes and Cache Worker interplay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache_worker import CacheWorker
+from repro.core.policies import swift_policy
+from repro.core.runtime import SwiftRuntime
+from repro.core.shuffle import ShuffleScheme
+from repro.sim.cluster import Cluster
+from repro.sim.config import SimConfig
+
+from conftest import as_job, chain_dag, make_stage
+from repro.core.dag import Edge, JobDAG
+
+
+def wide_barrier_dag(m: int, n: int, mb_per_task: float = 10.0) -> JobDAG:
+    stages = [
+        make_stage("src", tasks=m, blocking=True, scan_mb=mb_per_task,
+                   out_mb=mb_per_task),
+        make_stage("dst", tasks=n, out_mb=0.0),
+    ]
+    return JobDAG(f"wide_{m}x{n}", stages, [Edge("src", "dst")])
+
+
+def run(dag, policy=None, machines=8, executors=32, config=None):
+    cluster = Cluster.build(machines, executors, config=config)
+    runtime = SwiftRuntime(cluster, policy or swift_policy(), config=config)
+    return runtime.execute(as_job(dag)), runtime
+
+
+def test_adaptive_selects_by_edge_size():
+    small, _ = run(wide_barrier_dag(20, 20))          # 400 edges
+    assert small.metrics.shuffle_schemes["src->dst"] == "direct"
+    medium, _ = run(wide_barrier_dag(150, 150))       # 22,500 edges
+    assert medium.metrics.shuffle_schemes["src->dst"] == "remote"
+    large, _ = run(wide_barrier_dag(320, 320), machines=16, executors=32)
+    assert large.metrics.shuffle_schemes["src->dst"] == "local"
+
+
+def test_fixed_scheme_policy_overrides_adaptive():
+    result, _ = run(
+        wide_barrier_dag(20, 20), policy=swift_policy(shuffle=ShuffleScheme.LOCAL)
+    )
+    assert result.metrics.shuffle_schemes["src->dst"] == "local"
+
+
+def test_cache_worker_entries_released_after_consumption():
+    _, runtime = run(
+        wide_barrier_dag(150, 150),
+        policy=swift_policy(shuffle=ShuffleScheme.REMOTE),
+    )
+    for machine in runtime.cluster.machines:
+        worker: CacheWorker = machine.cache_worker
+        assert len(worker) == 0
+        assert worker.memory_used == 0.0
+
+
+def test_cache_pressure_spills_and_still_completes():
+    config = SimConfig()
+    config.cache_worker.memory_capacity = 4 * 1024 ** 2  # 4 MiB per machine
+    result, runtime = run(
+        wide_barrier_dag(100, 100, mb_per_task=30.0),
+        policy=swift_policy(shuffle=ShuffleScheme.LOCAL),
+        config=config,
+    )
+    assert result.completed
+    spilled = sum(m.cache_worker.bytes_spilled_total for m in runtime.cluster.machines)
+    assert spilled > 0
+
+
+def test_connections_fully_released_after_run():
+    _, runtime = run(wide_barrier_dag(100, 100))
+    assert runtime.cluster.network.open_connections == 0
+
+
+def test_disk_scheme_is_slowest_for_wide_shuffles():
+    times = {}
+    for scheme in (ShuffleScheme.LOCAL, ShuffleScheme.DISK):
+        result, _ = run(
+            wide_barrier_dag(200, 200, mb_per_task=40.0),
+            policy=swift_policy(shuffle=scheme),
+            machines=16,
+        )
+        times[scheme] = result.metrics.run_time
+    assert times[ShuffleScheme.DISK] > times[ShuffleScheme.LOCAL]
+
+
+def test_pipeline_edges_have_no_barrier_wait():
+    dag = chain_dag("noidle", n_stages=3)
+    result, _ = run(dag)
+    # Pipelined consumers begin within a launch-overhead of their plan.
+    for t in result.metrics.tasks:
+        assert t.data_arrive - t.plan_arrive < 2.0

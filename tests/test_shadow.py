@@ -1,0 +1,78 @@
+"""Tests for the shadow-controller failover model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import swift_policy
+from repro.core.runtime import SwiftRuntime
+from repro.core.shadow import FailoverEvent, ShadowController
+from repro.sim.cluster import Cluster
+
+from conftest import as_job, chain_dag
+
+
+def test_failover_event_validation():
+    with pytest.raises(ValueError):
+        FailoverEvent(at_time=-1.0)
+    with pytest.raises(ValueError):
+        FailoverEvent(at_time=1.0, failover_seconds=-1.0)
+
+
+def test_window_lookup():
+    shadow = ShadowController().add(FailoverEvent(at_time=10.0, failover_seconds=3.0))
+    assert shadow.window_at(9.9) is None
+    assert shadow.window_at(10.0) == (10.0, 13.0)
+    assert shadow.window_at(12.9) == (10.0, 13.0)
+    assert shadow.window_at(13.0) is None
+
+
+def test_next_available_outside_window_is_now():
+    shadow = ShadowController().add(FailoverEvent(at_time=10.0))
+    assert shadow.next_available(5.0) == 5.0
+    assert shadow.next_available(20.0) == 20.0
+
+
+def test_next_available_inside_window_waits():
+    shadow = ShadowController().add(FailoverEvent(at_time=10.0, failover_seconds=3.0))
+    assert shadow.next_available(11.0) == 13.0
+
+
+def test_chained_failovers_accumulate():
+    shadow = ShadowController()
+    shadow.add(FailoverEvent(at_time=10.0, failover_seconds=3.0))
+    shadow.add(FailoverEvent(at_time=12.0, failover_seconds=5.0))
+    # Leaving the first window at 13.0 lands inside the second (ends 17.0).
+    assert shadow.next_available(10.5) == 17.0
+
+
+def test_completion_counter():
+    shadow = ShadowController().add(FailoverEvent(at_time=1.0, failover_seconds=1.0))
+    shadow.record_completion(0.5)
+    assert shadow.failovers_completed == 0
+    shadow.record_completion(2.5)
+    assert shadow.failovers_completed == 1
+
+
+def _run(dag, shadow=None):
+    runtime = SwiftRuntime(Cluster.build(4, 8), swift_policy(), shadow=shadow)
+    return runtime.execute(as_job(dag))
+
+
+def test_failover_delays_dispatch_but_job_completes():
+    dag = chain_dag("fo", blocking_stages=(1,))
+    baseline = _run(chain_dag("fo0", blocking_stages=(1,))).metrics.run_time
+    # Fail over right when graphlet 2 would be submitted.
+    shadow = ShadowController().add(
+        FailoverEvent(at_time=baseline * 0.3, failover_seconds=5.0)
+    )
+    result = _run(dag, shadow=shadow)
+    assert result.completed
+    assert result.metrics.run_time > baseline
+    assert result.metrics.run_time < baseline + 10.0
+
+
+def test_failover_before_submit_shifts_everything():
+    shadow = ShadowController().add(FailoverEvent(at_time=0.0, failover_seconds=4.0))
+    result = _run(chain_dag("fo2"), shadow=shadow)
+    assert min(t.plan_arrive for t in result.metrics.tasks) >= 4.0

@@ -1,0 +1,163 @@
+"""Tests for adaptive shuffle selection and the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.shuffle import (
+    ShuffleCostModel,
+    ShuffleScheme,
+    connection_count,
+    memory_copies,
+    resolve_scheme,
+    select_scheme,
+)
+from repro.sim.config import SimConfig
+from repro.sim.disk import DiskModel
+from repro.sim.network import NetworkModel
+
+GB = 1e9
+
+
+@pytest.fixture
+def model() -> ShuffleCostModel:
+    config = SimConfig()
+    return ShuffleCostModel(config, NetworkModel(config.network), DiskModel(config.disk))
+
+
+def test_adaptive_thresholds_match_production_settings(config):
+    # Section III-B: thresholds at 10,000 and 90,000 edges.
+    assert select_scheme(0, config.shuffle) == ShuffleScheme.DIRECT
+    assert select_scheme(10_000, config.shuffle) == ShuffleScheme.DIRECT
+    assert select_scheme(10_001, config.shuffle) == ShuffleScheme.REMOTE
+    assert select_scheme(90_000, config.shuffle) == ShuffleScheme.REMOTE
+    assert select_scheme(90_001, config.shuffle) == ShuffleScheme.LOCAL
+
+
+def test_select_scheme_rejects_negative(config):
+    with pytest.raises(ValueError):
+        select_scheme(-1, config.shuffle)
+
+
+def test_resolve_scheme_passthrough_and_adaptive(config):
+    assert resolve_scheme(ShuffleScheme.DISK, 10**9, config.shuffle) == ShuffleScheme.DISK
+    assert resolve_scheme(ShuffleScheme.ADAPTIVE, 5_000, config.shuffle) == ShuffleScheme.DIRECT
+    assert resolve_scheme(ShuffleScheme.ADAPTIVE, 50_000, config.shuffle) == ShuffleScheme.REMOTE
+    assert resolve_scheme(ShuffleScheme.ADAPTIVE, 500_000, config.shuffle) == ShuffleScheme.LOCAL
+
+
+def test_connection_counts_match_paper_formulas():
+    # Section III-B: Direct M*N, Local M+N+C(Y,2), Remote M+N*Y.
+    m, n, y = 100, 80, 10
+    assert connection_count(ShuffleScheme.DIRECT, m, n, y) == 8_000
+    assert connection_count(ShuffleScheme.LOCAL, m, n, y) == 100 + 80 + 45
+    assert connection_count(ShuffleScheme.REMOTE, m, n, y) == 100 + 800
+    assert connection_count(ShuffleScheme.DISK, m, n, y) == 8_000
+
+
+def test_local_has_fewest_connections_when_y_small():
+    # "Local Shuffle has the least TCP connections between tasks" because
+    # Y is much smaller than M and N.
+    m, n, y = 1000, 1000, 10
+    local = connection_count(ShuffleScheme.LOCAL, m, n, y)
+    remote = connection_count(ShuffleScheme.REMOTE, m, n, y)
+    direct = connection_count(ShuffleScheme.DIRECT, m, n, y)
+    assert local < remote < direct
+
+
+def test_connection_count_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        connection_count(ShuffleScheme.DIRECT, 0, 1, 1)
+    with pytest.raises(ValueError):
+        connection_count(ShuffleScheme.ADAPTIVE, 1, 1, 1)
+
+
+def test_memory_copies_match_paper():
+    # Direct has the fewest copies; Local adds two; Remote is in between.
+    assert memory_copies(ShuffleScheme.DIRECT) == 0
+    assert memory_copies(ShuffleScheme.LOCAL) == 2
+    assert memory_copies(ShuffleScheme.REMOTE) == 1
+    assert memory_copies(ShuffleScheme.DISK) == 0
+
+
+def test_edge_cost_rejects_bad_inputs(model):
+    with pytest.raises(ValueError):
+        model.edge_cost(ShuffleScheme.DIRECT, -1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        model.edge_cost(ShuffleScheme.DIRECT, 1, 0, 1, 1)
+
+
+def test_direct_wins_small_shuffles(model):
+    """For small shuffles the extra memory copies make the cache-mediated
+    schemes slower (Fig. 12's small class)."""
+    kwargs = dict(total_bytes=20 * GB, m=60, n=60, y=4, concurrent_connections=4_000)
+    direct = model.edge_cost(ShuffleScheme.DIRECT, **kwargs)
+    local = model.edge_cost(ShuffleScheme.LOCAL, **kwargs)
+    remote = model.edge_cost(ShuffleScheme.REMOTE, **kwargs)
+    d = direct.write_per_task + direct.read_per_task
+    assert d <= local.write_per_task + local.read_per_task
+    assert d <= remote.write_per_task + remote.read_per_task + 0.05
+
+
+def test_remote_wins_medium_shuffles(model):
+    """Direct's M x N handshakes dominate at medium size (Fig. 12)."""
+    kwargs = dict(total_bytes=20 * GB, m=200, n=200, y=13,
+                  concurrent_connections=80_000)
+    direct = model.edge_cost(ShuffleScheme.DIRECT, **kwargs)
+    remote = model.edge_cost(
+        ShuffleScheme.REMOTE, total_bytes=20 * GB, m=200, n=200, y=13,
+        concurrent_connections=6_000,
+    )
+    assert (remote.write_per_task + remote.read_per_task
+            < direct.write_per_task + direct.read_per_task)
+
+
+def test_local_wins_large_shuffles(model):
+    """At large sizes Direct collapses (incast) and Remote pays Y pulls."""
+    big = dict(total_bytes=20 * GB, m=400, n=400, y=25)
+    direct = model.edge_cost(ShuffleScheme.DIRECT, concurrent_connections=320_000, **big)
+    local = model.edge_cost(ShuffleScheme.LOCAL, concurrent_connections=2_000, **big)
+    remote = model.edge_cost(ShuffleScheme.REMOTE, concurrent_connections=20_000, **big)
+    l = local.write_per_task + local.read_per_task
+    r = remote.write_per_task + remote.read_per_task
+    d = direct.write_per_task + direct.read_per_task
+    assert l < r < d
+
+
+def test_direct_barrier_charges_read_side(model):
+    pull = model.edge_cost(ShuffleScheme.DIRECT, 1 * GB, 50, 50, 5, 1000, barrier=True)
+    push = model.edge_cost(ShuffleScheme.DIRECT, 1 * GB, 50, 50, 5, 1000, barrier=False)
+    assert pull.read_per_task > push.read_per_task
+    assert pull.write_per_task < push.write_per_task
+
+
+def test_disk_write_scales_with_partition_files(model):
+    narrow = model.edge_cost(ShuffleScheme.DISK, 1 * GB, 10, 10, 2, 100)
+    wide = model.edge_cost(ShuffleScheme.DISK, 1 * GB, 10, 1000, 2, 100)
+    assert wide.write_per_task > narrow.write_per_task
+
+
+def test_disk_read_fragment_latency_escalates_with_load(model):
+    quiet = model.edge_cost(ShuffleScheme.DISK, 1 * GB, 1000, 1000, 30, 10_000)
+    loaded = model.edge_cost(ShuffleScheme.DISK, 1 * GB, 1000, 1000, 30, 2_000_000)
+    assert loaded.read_per_task > quiet.read_per_task * 2
+
+
+def test_retx_rate_reported(model):
+    cost = model.edge_cost(
+        ShuffleScheme.DIRECT, 1 * GB, 400, 400, 25,
+        concurrent_connections=int(model.network.config.retx_saturation),
+    )
+    assert cost.retx_rate == pytest.approx(model.network.config.retx_cap)
+
+
+def test_costs_scale_with_bytes(model):
+    small = model.edge_cost(ShuffleScheme.LOCAL, 1 * GB, 50, 50, 5, 1000)
+    large = model.edge_cost(ShuffleScheme.LOCAL, 10 * GB, 50, 50, 5, 1000)
+    assert large.read_per_task > small.read_per_task
+    assert large.write_per_task > small.write_per_task
+
+
+def test_unknown_scheme_raises(model):
+    with pytest.raises(ValueError):
+        model.edge_cost(ShuffleScheme.ADAPTIVE, 1.0, 1, 1, 1)

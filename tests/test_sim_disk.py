@@ -1,0 +1,63 @@
+"""Tests for the disk model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import DiskConfig
+from repro.sim.disk import DiskModel
+
+
+@pytest.fixture
+def disk() -> DiskModel:
+    return DiskModel(DiskConfig())
+
+
+def test_machine_bandwidth_capped_at_one_spindle(disk):
+    assert disk.machine_bandwidth(1) == disk.config.sequential_bandwidth
+
+
+def test_machine_bandwidth_shared_beyond_spindles(disk):
+    spindles = disk.config.disks_per_machine
+    total = disk.config.sequential_bandwidth * spindles
+    crowded = disk.machine_bandwidth(spindles * 2)
+    assert crowded == pytest.approx(total / (spindles * 2))
+
+
+def test_machine_bandwidth_rejects_zero_tasks(disk):
+    with pytest.raises(ValueError):
+        disk.machine_bandwidth(0)
+
+
+def test_write_time_includes_per_file_overhead(disk):
+    base = disk.write_time(1e9, n_files=1)
+    many = disk.write_time(1e9, n_files=101)
+    assert many - base == pytest.approx(100 * disk.config.per_file_overhead)
+
+
+def test_read_time_random_penalty(disk):
+    seq = disk.read_time(1e9, n_files=0)
+    rand = disk.read_time(1e9, n_files=0, random_access=True)
+    assert rand == pytest.approx(seq * disk.config.random_penalty)
+
+
+def test_read_write_reject_negative(disk):
+    with pytest.raises(ValueError):
+        disk.write_time(-1)
+    with pytest.raises(ValueError):
+        disk.read_time(-1)
+    with pytest.raises(ValueError):
+        disk.read_time(1, n_files=-1)
+
+
+def test_spill_is_sequential_full_bandwidth(disk):
+    t = disk.spill_time(disk.config.sequential_bandwidth)
+    assert t == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        disk.spill_time(-1)
+
+
+def test_contention_slows_io(disk):
+    fast = disk.read_time(1e9, concurrent_tasks=1)
+    slow = disk.read_time(1e9, concurrent_tasks=disk.config.disks_per_machine * 4)
+    assert slow > fast

@@ -1,0 +1,186 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen: list[str] = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    times: list[float] = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(4.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5, 4.25]
+    assert sim.now == 4.25
+
+
+def test_same_time_orders_by_priority():
+    sim = Simulator()
+    seen: list[str] = []
+    sim.schedule(1.0, seen.append, "low", priority=PRIORITY_LOW)
+    sim.schedule(1.0, seen.append, "high", priority=PRIORITY_HIGH)
+    sim.schedule(1.0, seen.append, "normal", priority=PRIORITY_NORMAL)
+    sim.run()
+    assert seen == ["high", "normal", "low"]
+
+
+def test_same_time_same_priority_is_fifo():
+    sim = Simulator()
+    seen: list[int] = []
+    for i in range(5):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    seen: list[str] = []
+    event = sim.schedule(1.0, seen.append, "cancelled")
+    sim.schedule(2.0, seen.append, "kept")
+    event.cancel()
+    sim.run()
+    assert seen == ["kept"]
+
+
+def test_schedule_during_run():
+    sim = Simulator()
+    seen: list[str] = []
+
+    def first() -> None:
+        seen.append("first")
+        sim.schedule(1.0, seen.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    seen: list[str] = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events() == 2
+    e1.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop() -> None:
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_rng_is_deterministic_per_seed():
+    a = Simulator(seed=42).rng.random()
+    b = Simulator(seed=42).rng.random()
+    c = Simulator(seed=43).rng.random()
+    assert a == b
+    assert a != c
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_zero_delay_event_runs_at_now():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: sim.schedule(0.0, lambda: None))
+    sim.run()
+    assert sim.now == 3.0
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    captured: list[Exception] = []
+
+    def reenter() -> None:
+        try:
+            sim.run()
+        except SimulationError as exc:
+            captured.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(captured) == 1
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    seen: list[tuple] = []
+    sim.schedule(1.0, lambda *a: seen.append(a), 1, "x", None)
+    sim.run()
+    assert seen == [(1, "x", None)]

@@ -1,0 +1,108 @@
+"""Tests for the network model: setup latency, incast, transfers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import NetworkConfig
+from repro.sim.network import NetworkModel
+
+
+@pytest.fixture
+def net() -> NetworkModel:
+    return NetworkModel(NetworkConfig())
+
+
+def test_setup_time_grows_with_congestion(net):
+    idle = net.connection_setup_time(0)
+    busy = net.connection_setup_time(100_000)
+    saturated = net.connection_setup_time(10_000_000)
+    assert idle == net.config.conn_setup_base
+    assert idle < busy < saturated < net.config.conn_setup_congested
+
+
+def test_setup_time_uses_tracked_connections_by_default(net):
+    baseline = net.connection_setup_time()
+    net.register_connections(200_000)
+    assert net.connection_setup_time() > baseline
+
+
+def test_setup_time_for_respects_parallelism(net):
+    one_round = net.setup_time_for(net.config.conn_parallelism, 0)
+    two_rounds = net.setup_time_for(net.config.conn_parallelism + 1, 0)
+    assert two_rounds == pytest.approx(2 * one_round)
+    assert net.setup_time_for(0, 0) == 0.0
+
+
+def test_setup_time_rejects_negative(net):
+    with pytest.raises(ValueError):
+        net.setup_time_for(-1, 0)
+    with pytest.raises(ValueError):
+        net.connection_setup_time(-5)
+
+
+def test_retransmission_rate_is_quadratic_then_capped(net):
+    sat = net.config.retx_saturation
+    quarter = net.retransmission_rate(int(sat / 2))
+    assert quarter == pytest.approx(net.config.retx_cap / 4)
+    assert net.retransmission_rate(int(sat)) == pytest.approx(net.config.retx_cap)
+    assert net.retransmission_rate(int(sat * 10)) == net.config.retx_cap
+
+
+def test_effective_bandwidth_shared_by_flows(net):
+    solo = net.effective_bandwidth(1, 0)
+    shared = net.effective_bandwidth(4, 0)
+    assert shared == pytest.approx(solo / 4)
+
+
+def test_effective_bandwidth_degrades_under_retransmission(net):
+    clean = net.effective_bandwidth(1, 0)
+    congested = net.effective_bandwidth(1, int(net.config.retx_saturation))
+    expected = clean / (1.0 + net.config.retx_throughput_penalty * net.config.retx_cap)
+    assert congested == pytest.approx(expected)
+
+
+def test_effective_bandwidth_rejects_zero_flows(net):
+    with pytest.raises(ValueError):
+        net.effective_bandwidth(0)
+
+
+def test_register_release_roundtrip(net):
+    net.register_connections(100)
+    net.register_connections(50)
+    assert net.open_connections == 150
+    net.release_connections(100)
+    assert net.open_connections == 50
+    net.release_connections(500)
+    assert net.open_connections == 0
+
+
+def test_register_rejects_negative(net):
+    with pytest.raises(ValueError):
+        net.register_connections(-1)
+    with pytest.raises(ValueError):
+        net.release_connections(-1)
+
+
+def test_transfer_estimate_components(net):
+    estimate = net.transfer_estimate(
+        bytes_to_move=1e9, flows_sharing_nic=2, connections_per_task=10,
+        concurrent_connections=0,
+    )
+    assert estimate.setup_time == pytest.approx(net.setup_time_for(10, 0))
+    expected_transfer = 1e9 / net.effective_bandwidth(2, 0) + net.config.rtt
+    assert estimate.transfer_time == pytest.approx(expected_transfer)
+    assert estimate.total == pytest.approx(estimate.setup_time + estimate.transfer_time)
+
+
+def test_transfer_estimate_rejects_negative_bytes(net):
+    with pytest.raises(ValueError):
+        net.transfer_estimate(-1, 1, 1)
+
+
+def test_memory_copy_time(net):
+    one = net.memory_copy_time(net.config.memory_bandwidth)
+    assert one == pytest.approx(1.0)
+    assert net.memory_copy_time(1e9, copies=0) == 0.0
+    with pytest.raises(ValueError):
+        net.memory_copy_time(-1)

@@ -1,0 +1,59 @@
+"""Tests for the catalog and its statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.catalog import Catalog, CatalogError, Column, TPCH_TABLES, TableSchema
+
+
+def test_tpch_tables_present():
+    for name in ("lineitem", "orders", "customer", "part", "partsupp",
+                 "supplier", "nation", "region"):
+        assert name in TPCH_TABLES
+
+
+def test_row_counts_match_spec_ratios():
+    # TPC-H invariants at any scale: lineitem ~4x orders, orders = 10x customers.
+    assert TPCH_TABLES["lineitem"].base_rows == 4 * TPCH_TABLES["orders"].base_rows
+    assert TPCH_TABLES["orders"].base_rows == 10 * TPCH_TABLES["customer"].base_rows
+    assert TPCH_TABLES["partsupp"].base_rows == 4 * TPCH_TABLES["part"].base_rows
+
+
+def test_fixed_tables_do_not_scale():
+    assert TPCH_TABLES["nation"].rows_at(1000) == 25
+    assert TPCH_TABLES["region"].rows_at(1000) == 5
+    assert TPCH_TABLES["lineitem"].rows_at(2) == 12_000_000
+
+
+def test_bytes_at_scales():
+    schema = TPCH_TABLES["orders"]
+    assert schema.bytes_at(10) == pytest.approx(10 * schema.bytes_at(1), rel=1e-6)
+
+
+def test_resolve_with_and_without_prefix():
+    catalog = Catalog()
+    assert catalog.resolve_table("lineitem").name == "lineitem"
+    assert catalog.resolve_table("tpch_lineitem").name == "lineitem"
+    assert catalog.resolve_table("TPCH_LINEITEM").name == "lineitem"
+    with pytest.raises(CatalogError):
+        catalog.resolve_table("no_such_table")
+
+
+def test_find_column():
+    catalog = Catalog()
+    assert catalog.find_column("l_orderkey") == ["lineitem"]
+    assert set(catalog.find_column("o_orderkey")) == {"orders"}
+    assert catalog.find_column("nonexistent_column") == []
+
+
+def test_register_custom_table():
+    catalog = Catalog()
+    schema = TableSchema(
+        "metrics", (Column("ts", "int"), Column("value", "float")),
+        base_rows=100, bytes_per_row=16,
+    )
+    catalog.register(schema)
+    assert catalog.resolve_table("metrics") is schema
+    assert schema.column_names() == ["ts", "value"]
+    assert schema.has_column("ts") and not schema.has_column("missing")

@@ -1,0 +1,75 @@
+"""Tests for the SQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.lexer import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_simple_select():
+    tokens = tokenize("select a from t")
+    assert [t.text for t in tokens[:-1]] == ["select", "a", "from", "t"]
+    assert tokens[0].kind == TokenKind.KEYWORD
+    assert tokens[1].kind == TokenKind.IDENT
+    assert tokens[-1].kind == TokenKind.EOF
+
+
+def test_string_literal():
+    tokens = tokenize("where name like '%green%'")
+    strings = [t for t in tokens if t.kind == TokenKind.STRING]
+    assert strings[0].text == "%green%"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("select 'oops")
+
+
+def test_numbers_int_and_float():
+    tokens = tokenize("1 23.5 0.25")
+    numbers = [t.text for t in tokens if t.kind == TokenKind.NUMBER]
+    assert numbers == ["1", "23.5", "0.25"]
+
+
+def test_qualified_name_not_a_float():
+    tokens = tokenize("l.l_suppkey")
+    assert [t.kind for t in tokens[:-1]] == [
+        TokenKind.IDENT, TokenKind.DOT, TokenKind.IDENT,
+    ]
+
+
+def test_operators():
+    tokens = tokenize("a <> b >= c <= d != e")
+    ops = [t.text for t in tokens if t.kind == TokenKind.OPERATOR]
+    assert ops == ["<>", ">=", "<=", "!="]
+
+
+def test_comments_skipped():
+    tokens = tokenize("select a -- comment here\nfrom t")
+    assert [t.text for t in tokens[:-1]] == ["select", "a", "from", "t"]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("SELECT A FROM T")
+    assert tokens[0].kind == TokenKind.KEYWORD
+    assert tokens[0].lowered == "select"
+
+
+def test_punctuation():
+    source = "f(a, b) * c;"
+    expected = [
+        TokenKind.IDENT, TokenKind.LPAREN, TokenKind.IDENT, TokenKind.COMMA,
+        TokenKind.IDENT, TokenKind.RPAREN, TokenKind.STAR, TokenKind.IDENT,
+        TokenKind.SEMICOLON, TokenKind.EOF,
+    ]
+    assert kinds(source) == expected
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("select @")

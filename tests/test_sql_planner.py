@@ -1,0 +1,154 @@
+"""Tests for logical planning and physical DAG compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import EdgeMode
+from repro.core.operators import OperatorKind as K
+from repro.core.partition import partition_job
+from repro.sql import FIG1_QUERY
+from repro.sql.catalog import Catalog, CatalogError, DEFAULT_CATALOG
+from repro.sql.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    PlanError,
+    explain,
+    plan_statement,
+    scans_in,
+)
+from repro.sql.parser import parse
+from repro.sql.physical import PhysicalPlanner, compile_sql
+
+
+def plan(sql):
+    return plan_statement(parse(sql), DEFAULT_CATALOG)
+
+
+def test_scan_filter_project():
+    node = plan("select l_orderkey from lineitem where l_quantity > 10")
+    assert isinstance(node, LogicalProject)
+    assert isinstance(node.child, LogicalFilter)
+    assert isinstance(node.child.child, LogicalScan)
+    assert node.child.child.table == "lineitem"
+
+
+def test_join_tree_left_deep():
+    node = plan(
+        "select 1 from lineitem l join orders o on l.l_orderkey = o.o_orderkey "
+        "join part p on p.p_partkey = l.l_partkey"
+    )
+    assert isinstance(node, LogicalProject)
+    top = node.child
+    assert isinstance(top, LogicalJoin)
+    assert isinstance(top.left, LogicalJoin)
+    assert isinstance(top.right, LogicalScan)
+
+
+def test_aggregate_sort_limit_stack():
+    node = plan(
+        "select l_returnflag, sum(l_quantity) q from lineitem "
+        "group by l_returnflag order by q desc limit 5"
+    )
+    assert isinstance(node, LogicalLimit)
+    assert isinstance(node.child, LogicalSort)
+    assert isinstance(node.child.child, LogicalAggregate)
+
+
+def test_aggregate_without_group_by():
+    node = plan("select sum(l_quantity) from lineitem")
+    assert isinstance(node, LogicalAggregate)
+    assert node.group_by == []
+
+
+def test_tpch_prefix_resolves():
+    node = plan("select 1 from tpch_lineitem")
+    assert scans_in(node)[0].table == "lineitem"
+
+
+def test_unknown_table_raises():
+    with pytest.raises(CatalogError):
+        plan("select 1 from nonexistent")
+
+
+def test_select_without_from_rejected():
+    with pytest.raises(PlanError):
+        plan("select 1")
+
+
+def test_explain_renders_tree():
+    text = explain(plan("select a from lineitem where l_quantity > 1 order by a"))
+    assert "Scan(lineitem" in text
+    assert "Sort" in text
+
+
+def test_compile_produces_valid_dag():
+    dag = compile_sql(
+        "select l_returnflag, sum(l_quantity) from lineitem group by l_returnflag",
+        scale_factor=100,
+    )
+    dag.validate()
+    kinds = [op.kind for s in dag.stages.values() for op in s.operators]
+    assert K.TABLE_SCAN in kinds
+    assert K.STREAMED_AGGREGATE in kinds
+    assert K.ADHOC_SINK in kinds
+
+
+def test_compile_join_stages_are_blocking():
+    """Sort-merge joins produce blocking stages, so their outgoing edges
+    are barriers — the Fig. 4 pattern."""
+    dag = compile_sql(
+        "select 1 from lineitem l join orders o on l.l_orderkey = o.o_orderkey",
+        scale_factor=100,
+    )
+    join_stages = [s for s in dag.stages.values() if s.name.startswith("J")]
+    assert join_stages and all(s.is_blocking for s in join_stages)
+    for stage in join_stages:
+        for edge in dag.out_edges(stage.name):
+            assert dag.edge_mode(edge) == EdgeMode.BARRIER
+
+
+def test_compile_fig1_matches_q9_shape():
+    """The Fig. 1 text compiles to a DAG with Q9's structure: 6 scans,
+    5 joins, an aggregate, a sort, and a sink, partitioned into multiple
+    graphlets."""
+    dag = compile_sql(FIG1_QUERY, scale_factor=1000, job_id="q9")
+    scans = [s for s in dag.stages.values() if s.name.startswith("M")]
+    joins = [s for s in dag.stages.values() if s.name.startswith("J")]
+    assert len(scans) == 6
+    assert len(joins) == 5
+    graph = partition_job(dag)
+    assert len(graph) >= 4
+    assert dag.sinks() == [dag.topo_order()[-1]]
+
+
+def test_scale_factor_scales_tasks():
+    small = compile_sql("select 1 from lineitem", scale_factor=1)
+    large = compile_sql("select 1 from lineitem", scale_factor=1000)
+    assert large.total_tasks() > small.total_tasks()
+
+
+def test_compiled_dag_runs_on_simulator():
+    from repro import Cluster, Job, SwiftRuntime, swift_policy
+
+    dag = compile_sql(FIG1_QUERY, scale_factor=50, job_id="sim_q9")
+    runtime = SwiftRuntime(Cluster.build(20, 16), swift_policy())
+    result = runtime.execute(Job(dag=dag))
+    assert result.completed
+    assert result.metrics.run_time > 0
+
+
+def test_custom_catalog_registration():
+    from repro.sql.catalog import Column, TableSchema
+
+    catalog = Catalog()
+    catalog.register(
+        TableSchema("events", (Column("ts", "int"),), base_rows=10, bytes_per_row=8)
+    )
+    node = plan_statement(parse("select ts from events"), catalog)
+    assert scans_in(node)[0].table == "events"

@@ -1,0 +1,53 @@
+"""Tests for the Terasort workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import EdgeMode
+from repro.core.partition import partition_job
+from repro.workloads import terasort
+
+
+def test_structure():
+    dag = terasort.terasort_dag(100, 50)
+    assert dag.stage("map").task_count == 100
+    assert dag.stage("reduce").task_count == 50
+    assert dag.roots() == ["map"] and dag.sinks() == ["reduce"]
+
+
+def test_map_reduce_edge_is_barrier():
+    """The map side sorts, so the shuffle edge is a barrier and Swift
+    splits the job into two graphlets."""
+    dag = terasort.terasort_dag(10, 10)
+    assert dag.edge_mode(dag.edges[0]) == EdgeMode.BARRIER
+    assert len(partition_job(dag)) == 2
+
+
+def test_map_input_size_default():
+    dag = terasort.terasort_dag(10, 10)
+    assert dag.stage("map").scan_bytes_per_task == terasort.MAP_INPUT_BYTES == 200e6
+
+
+def test_data_conservation():
+    dag = terasort.terasort_dag(100, 25)
+    maps, reduces = dag.stage("map"), dag.stage("reduce")
+    assert maps.total_output_bytes == pytest.approx(100 * 200e6)
+    assert reduces.total_output_bytes == pytest.approx(maps.total_output_bytes)
+
+
+def test_table1_grid():
+    assert terasort.TABLE1_SIZES == ((250, 250), (500, 500), (1000, 1000), (1500, 1500))
+
+
+def test_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        terasort.terasort_dag(0, 5)
+    with pytest.raises(ValueError):
+        terasort.terasort_dag(5, 0)
+
+
+def test_job_wrapper_and_id():
+    job = terasort.terasort_job(3, 4, submit_time=1.0)
+    assert job.job_id == "terasort_3x4"
+    assert job.submit_time == 1.0

@@ -1,0 +1,98 @@
+"""Tests for the TPC-H workload DAGs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import EdgeMode
+from repro.core.partition import partition_job
+from repro.workloads import tpch
+
+
+def test_all_22_queries_build_and_validate():
+    for q in tpch.ALL_QUERIES:
+        dag = tpch.query_dag(q)
+        dag.validate()
+        assert len(dag.sinks()) == 1
+        assert dag.total_tasks() > 1
+
+
+def test_query_numbering():
+    assert tpch.ALL_QUERIES == tuple(range(1, 23))
+    with pytest.raises(ValueError):
+        tpch.query_dag(0)
+    with pytest.raises(ValueError):
+        tpch.query_dag(23)
+
+
+def test_q9_task_counts_match_fig4():
+    dag = tpch.query_dag(9)
+    expected = {"M1": 956, "M2": 220, "M3": 3, "M5": 403, "M7": 220, "M8": 20}
+    for stage, tasks in expected.items():
+        assert dag.stage(stage).task_count == tasks
+
+
+def test_q9_barrier_edges_match_fig4():
+    """J4, J6 and J10 contain MergeSort, so their outgoing edges are the
+    barrier edges of Fig. 4."""
+    dag = tpch.query_dag(9)
+    barriers = {
+        (e.src, e.dst) for e in dag.edges if dag.edge_mode(e) == EdgeMode.BARRIER
+    }
+    assert barriers == {("J4", "J6"), ("J6", "J10"), ("J10", "R11")}
+
+
+def test_q13_task_counts_match_fig13():
+    dag = tpch.query_dag(13)
+    for row in tpch.Q13_DETAILS:
+        assert dag.stage(str(row["stage"])).task_count == row["tasks"]
+
+
+def test_q13_chain_structure():
+    dag = tpch.query_dag(13)
+    assert dag.successors("J3") == ["R4"]
+    assert set(dag.predecessors("J3")) == {"M1", "M2"}
+    assert dag.sinks() == ["R6"]
+
+
+def test_scale_parameter_shrinks_volumes():
+    full = tpch.query_dag(3, scale=1.0)
+    small = tpch.query_dag(3, scale=0.1)
+    # The split size stays fixed, so scan *task counts* shrink with the
+    # data while per-task bytes stay roughly constant.
+    assert small.total_tasks() < full.total_tasks()
+
+    def total_scan(dag):
+        return sum(
+            s.scan_bytes_per_task * s.task_count for s in dag.stages.values()
+        )
+
+    assert total_scan(small) == pytest.approx(total_scan(full) * 0.1, rel=0.2)
+
+
+def test_scan_task_count_formula():
+    assert tpch.scan_task_count("lineitem", 1.0) == 956
+    assert tpch.scan_task_count("nation", 1.0) == 1
+
+
+def test_query_job_wrapper():
+    job = tpch.query_job(5, submit_time=3.0)
+    assert job.submit_time == 3.0
+    assert job.job_id == "tpch_q5"
+
+
+def test_custom_job_id():
+    dag = tpch.query_dag(1, job_id="custom")
+    assert dag.job_id == "custom"
+
+
+def test_queries_have_sensible_graphlet_counts():
+    for q in tpch.ALL_QUERIES:
+        graph = partition_job(tpch.query_dag(q))
+        assert 1 <= len(graph) <= 8
+
+
+def test_critical_stage_list_exists_in_q9():
+    dag = tpch.query_dag(9)
+    for stage in tpch.Q9_CRITICAL_STAGES:
+        assert stage in dag.stages

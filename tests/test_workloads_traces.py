@@ -1,0 +1,116 @@
+"""Tests for the trace-calibrated workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dag import EdgeMode
+from repro.core.shuffle import ShuffleScheme, select_scheme
+from repro.sim.config import SimConfig
+from repro.workloads import traces
+
+
+def test_trace_matches_fig8_structure():
+    jobs = traces.generate_trace(traces.TraceConfig(n_jobs=1000))
+    stats = traces.trace_statistics(jobs)
+    # Fig. 8(b): >80% of jobs have <=80 tasks and <=4 stages.
+    assert stats["frac_tasks_le_80"] >= 0.80
+    assert stats["frac_stages_le_4"] >= 0.80
+    assert stats["max_stages"] <= 8
+
+
+def test_trace_contains_large_jobs():
+    jobs = traces.generate_trace(traces.TraceConfig(n_jobs=1000))
+    assert max(j.dag.total_tasks() for j in jobs) > 300
+
+
+def test_trace_deterministic_by_seed():
+    a = traces.generate_trace(traces.TraceConfig(n_jobs=50, seed=5))
+    b = traces.generate_trace(traces.TraceConfig(n_jobs=50, seed=5))
+    assert [j.dag.total_tasks() for j in a] == [j.dag.total_tasks() for j in b]
+    assert [j.submit_time for j in a] == [j.submit_time for j in b]
+    c = traces.generate_trace(traces.TraceConfig(n_jobs=50, seed=6))
+    assert [j.dag.total_tasks() for j in a] != [j.dag.total_tasks() for j in c]
+
+
+def test_arrivals_are_monotone():
+    jobs = traces.generate_trace(traces.TraceConfig(n_jobs=100))
+    times = [j.submit_time for j in jobs]
+    assert times == sorted(times)
+    assert times[0] == 0.0
+
+
+def test_all_trace_jobs_validate():
+    for job in traces.generate_trace(traces.TraceConfig(n_jobs=200)):
+        job.dag.validate()
+        assert job.dag.sinks()
+
+
+def test_work_tail_truncated():
+    config = traces.TraceConfig(n_jobs=500, max_total_work=140.0)
+    for job in traces.generate_trace(config):
+        total_work = max(
+            s.work_seconds_per_task or 0.0 for s in job.dag.stages.values()
+        ) * len(job.dag)
+        assert total_work <= 140.0 * 1.4 * len(job.dag)  # generous bound
+
+
+def test_cluster_profiles_increase_in_depth():
+    deep_fracs = []
+    for profile in range(4):
+        jobs = traces.cluster_profile_jobs(profile, n_jobs=150)
+        deep = sum(1 for j in jobs if len(j.dag) >= 2) / len(jobs)
+        deep_fracs.append(deep)
+    assert deep_fracs[0] < deep_fracs[1] <= deep_fracs[3] + 0.05
+    with pytest.raises(ValueError):
+        traces.cluster_profile_jobs(4)
+
+
+def test_shuffle_classes_hit_adaptive_bands():
+    """The three Fig. 12 classes must land in the three adaptive bands."""
+    config = SimConfig().shuffle
+    expected = {
+        "small": ShuffleScheme.DIRECT,
+        "medium": ShuffleScheme.REMOTE,
+        "large": ShuffleScheme.LOCAL,
+    }
+    for category, scheme in expected.items():
+        m, n = traces.SHUFFLE_CLASSES[category]
+        assert select_scheme(m * n, config) == scheme
+        jobs = traces.shuffle_class_jobs(category, n_jobs=2)
+        for job in jobs:
+            assert job.dag.stage("src").task_count == m
+            assert job.tags["shuffle_class"] == category
+            assert job.dag.edge_mode(job.dag.edges[0]) == EdgeMode.BARRIER
+
+
+def test_shuffle_class_rejects_unknown():
+    with pytest.raises(ValueError):
+        traces.shuffle_class_jobs("gigantic")
+
+
+def test_generate_job_respects_stage_override():
+    rng = random.Random(0)
+    job = traces.generate_job(rng, "x", traces.TraceConfig(), n_stages=5)
+    assert len(job.dag) == 5
+
+
+def test_side_scan_shape_is_connected():
+    # Force many samples; every generated DAG must be fully connected from
+    # roots to sink (validate catches dangling stages via topo coverage).
+    rng = random.Random(3)
+    config = traces.TraceConfig()
+    for i in range(200):
+        job = traces.generate_job(rng, f"j{i}", config)
+        order = job.dag.topo_order()
+        assert len(order) == len(job.dag)
+        sinks = job.dag.sinks()
+        assert f"S{len(job.dag)}" in sinks
+
+
+def test_max_stage_tasks_cap():
+    config = traces.TraceConfig(n_jobs=300, max_stage_tasks=48)
+    jobs = traces.generate_trace(config)
+    assert max(s.task_count for j in jobs for s in j.dag.stages.values()) <= 48
