@@ -4,10 +4,12 @@ Commands
 --------
 ``list``
     List the available experiment runners.
-``experiment <key> [...]``
+``experiment <key> [...] [--jobs N]``
     Run one or more experiments by key and print their tables.
-``report [--quick] [--output PATH]``
+``report [--quick] [--output PATH] [--jobs N]``
     Run everything and write the EXPERIMENTS.md document.
+``bench [--quick] [--output PATH]``
+    Benchmark the simulator substrate and write BENCH_simulator.json.
 ``sql [--query TEXT | --file PATH] [--scale N] [--execute]``
     Compile a Swift-language query to a job DAG, show the plan and the
     graphlet partitioning, simulate it, and optionally execute it row-level
@@ -56,7 +58,40 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_parallel_options(args: argparse.Namespace) -> None:
+    """Route ``--jobs``/``--cache-dir`` to the parallel cell harness."""
+    from .experiments import parallel
+
+    if getattr(args, "jobs_workers", None):
+        parallel.set_default_jobs(args.jobs_workers)
+    if getattr(args, "cache_dir", None):
+        import os
+
+        os.environ[parallel.CACHE_ENV] = args.cache_dir
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("worker count must be >= 1")
+    return value
+
+
+def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_worker_count, default=None, dest="jobs_workers", metavar="N",
+        help="fan independent simulation cells across N worker processes "
+             "(results are identical to a serial run; default $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache cell results on disk under DIR, keyed by spec hash "
+             "(default $REPRO_CACHE_DIR; unset = no disk cache)",
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _apply_parallel_options(args)
     registry = _experiment_registry()
     unknown = [key for key in args.keys if key not in registry]
     if unknown:
@@ -92,6 +127,7 @@ def _maybe_plot(result) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    _apply_parallel_options(args)
     text = reporting.build_report(quick=args.quick, echo=lambda m: print(m, file=sys.stderr))
     if args.output:
         with open(args.output, "w") as handle:
@@ -165,6 +201,26 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import bench
+
+    payload = bench.write_bench_file(
+        path=args.output, quick=args.quick,
+        echo=lambda m: print(m, file=sys.stderr),
+    )
+    terasort = payload["terasort"]
+    print(f"event engine: {payload['event_engine']['events_per_s']:,.0f} events/s")
+    print(f"cancel-heavy: {payload['cancel_heavy']['events_per_s']:,.0f} events/s")
+    print(f"terasort: legacy {terasort['baseline_ms']:.1f}ms -> "
+          f"fast {terasort['fast_ms']:.1f}ms ({terasort['speedup']:.2f}x)")
+    replay = payload["parallel_replay"]
+    print(f"parallel replay: serial {replay['serial_s']:.2f}s -> "
+          f"{replay['workers']} workers {replay['parallel_s']:.2f}s "
+          f"({replay['speedup']:.2f}x)")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -181,12 +237,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("keys", nargs="+", help="experiment keys (see `list`)")
     p_exp.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
+    _add_parallel_options(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_rep.add_argument("--quick", action="store_true", help="reduced workload sizes")
     p_rep.add_argument("--output", help="write to a file instead of stdout")
+    _add_parallel_options(p_rep)
     p_rep.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser("bench", help="benchmark the simulator substrate")
+    p_bench.add_argument("--quick", action="store_true", help="smaller scenarios")
+    p_bench.add_argument("--output", default="BENCH_simulator.json",
+                        help="where to write the JSON document")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_sql = sub.add_parser("sql", help="compile/run a Swift-language query")
     p_sql.add_argument("--query", help="query text (default: the paper's Fig. 1)")

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskTiming:
     """Timestamps and phase durations recorded for one task attempt."""
 

@@ -22,11 +22,12 @@ finish time back, which keeps failure handling simple and exact.
 from __future__ import annotations
 
 import enum
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim.cluster import Cluster, Executor
+from ..sim.cluster import Cluster, Executor, ExecutorState
 from ..sim.config import SimConfig
 from ..sim.engine import Simulator
 from ..sim.failures import FailureKind, FailurePlan, FailureSpec
@@ -61,7 +62,7 @@ class UnitState(enum.Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskInstance:
     """One logical task; attempts mutate it in place (see module docs)."""
 
@@ -110,6 +111,8 @@ class StageRun:
         self.finish_estimate = 0.0
         self.first_output = math.inf
         self.earliest_read_done = math.inf
+        #: Time of the latest drain event scheduled for this stage (fast path).
+        self.drain_scheduled_at = -math.inf
 
     @property
     def name(self) -> str:
@@ -210,6 +213,7 @@ class SwiftRuntime:
         failure_plan: Optional[FailurePlan] = None,
         reference_duration: "float | dict[str, float]" = 100.0,
         shadow: Optional[ShadowController] = None,
+        fast_path: bool = True,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
@@ -239,6 +243,19 @@ class SwiftRuntime:
         #: (start, end) executor-busy intervals for utilization series.
         self.busy_intervals: list[tuple[float, float]] = []
         self._request_units: dict[int, UnitRun] = {}
+        #: Event-kernel fast path: when no failure is planned, task finish
+        #: times are immutable once computed, so per-task finish events are
+        #: replaced by a runtime-local "finish ledger" that is replayed in
+        #: exact event order (clock rewound per entry) whenever state must be
+        #: observed — one drain event per computed stage batch instead of one
+        #: event per task.  Recovery needs per-task events, so any failure
+        #: plan falls back to the legacy path.
+        self._fast_path = bool(fast_path) and len(self.failure_plan) == 0
+        self.scheduler.fast_ops = self._fast_path
+        self._finish_ledger: list[tuple[float, int, TaskInstance]] = []
+        self._ledger_seq = 0
+        self._flushing = False
+        self._outer_now: Optional[float] = None
         for machine in cluster.machines:
             if machine.cache_worker is None:
                 machine.cache_worker = CacheWorker(
@@ -263,6 +280,9 @@ class SwiftRuntime:
     def run(self, until: Optional[float] = None) -> list[JobResult]:
         """Run the simulation to completion and return per-job results."""
         self.sim.run(until=until)
+        # Fast path: finalize any ledger entries due by the stop time (the
+        # legacy path realised them as simulator events during the run).
+        self._flush_finishes()
         return self.results
 
     def execute(self, job: Job) -> JobResult:
@@ -278,6 +298,11 @@ class SwiftRuntime:
     # Job lifecycle
     # ------------------------------------------------------------------
     def _on_job_submitted(self, job: Job, attempt: int) -> None:
+        # Catch up strictly-earlier deferred finishes so this submission sees
+        # the same cluster state it would under per-task events.  Same-time
+        # finishes stay deferred: their legacy events carry larger sequence
+        # numbers than this submission's, so they ran after it.
+        self._flush_finishes(strict=True)
         graphlets = self.policy.partitioner.partition(job.dag)
         if not self.policy.gang:
             for graphlet in graphlets.graphlets:
@@ -419,18 +444,74 @@ class SwiftRuntime:
         times = self.admin.dispatch_times(dispatch_from, len(batch))
         rng = self.sim.rng
         metrics = job_run.metrics
-        for inst, executor, arrive in zip(batch, grant.executors, times):
-            executor.current_task = inst
-            executor.start()
-            inst.executor = executor
-            inst.state = TaskState.DISPATCHED
-            inst.plan_arrive = arrive
-            inst.launch = self._launch_overhead(rng)
-            inst.stage_run.n_dispatched += 1
-            self.admin.plan_cached(job_run.job.job_id, inst.stage_run.name)
-            if metrics.start_time == 0.0 or arrive < metrics.start_time:
-                metrics.start_time = arrive
+        if self._fast_path:
+            self._dispatch_batch_fast(job_run, batch, grant.executors, times, rng)
+            if times:
+                # dispatch_times is strictly increasing, so only the first
+                # arrival can move the job's start time.
+                first = times[0]
+                if metrics.start_time == 0.0 or first < metrics.start_time:
+                    metrics.start_time = first
+        else:
+            for inst, executor, arrive in zip(batch, grant.executors, times):
+                executor.current_task = inst
+                executor.start()
+                inst.executor = executor
+                inst.state = TaskState.DISPATCHED
+                inst.plan_arrive = arrive
+                inst.launch = self._launch_overhead(rng)
+                inst.stage_run.n_dispatched += 1
+                self.admin.plan_cached(job_run.job.job_id, inst.stage_run.name)
+                if metrics.start_time == 0.0 or arrive < metrics.start_time:
+                    metrics.start_time = arrive
         self._try_compute_stages(unit)
+
+    def _dispatch_batch_fast(
+        self,
+        job_run: JobRun,
+        batch: list["TaskInstance"],
+        executors: list[Executor],
+        times: list[float],
+        rng,
+    ) -> None:
+        """Per-task dispatch loop with the executor state machine inlined.
+
+        Executors arrive ASSIGNED from the scheduler, so ASSIGNED->RUNNING
+        never touches idle counters; the rng draw sequence matches
+        ``_launch_overhead`` exactly (prelaunched draws nothing).
+        """
+        cfg = self.config.executor
+        prelaunched = self.policy.launch == LaunchModel.PRELAUNCHED
+        fixed_launch = cfg.prelaunched_overhead
+        mean = cfg.coldstart_mean
+        jitter = cfg.coldstart_jitter
+        uniform = rng.uniform
+        running = ExecutorState.RUNNING
+        dispatched = TaskState.DISPATCHED
+        plan_cached = self.admin.plan_cached
+        stats = self.admin.stats
+        job_id = job_run.job.job_id
+        last_sr = None
+        for inst, executor, arrive in zip(batch, executors, times):
+            executor.current_task = inst
+            executor.state = running
+            inst.executor = executor
+            inst.state = dispatched
+            inst.plan_arrive = arrive
+            if prelaunched:
+                inst.launch = fixed_launch
+            else:
+                launch = mean + uniform(-jitter, jitter)
+                inst.launch = launch if launch > 0.0 else 0.0
+            sr = inst.stage_run
+            sr.n_dispatched += 1
+            if sr is last_sr:
+                # Same (job, stage) key as the previous instance: a repeat
+                # lookup is by definition a cache hit, so skip the set probe.
+                stats.plan_cache_hits += 1
+            else:
+                last_sr = sr
+                plan_cached(job_id, sr.name)
 
     def _launch_overhead(self, rng) -> float:
         cfg = self.config.executor
@@ -589,50 +670,257 @@ class SwiftRuntime:
         rng = self.sim.rng
         work = self._work_seconds(sr)
         flush = self.config.pipeline_flush_latency
-        for inst in sr.instances:
-            if inst.state != TaskState.DISPATCHED or inst.finish_time != math.inf:
-                continue
-            inst.proc = work * (1.0 + rng.uniform(0.0, 0.06))
-            inst.read = sr.scan_read + sr.read_cost
-            inst.write = sr.write_cost
-            ready = inst.plan_arrive + inst.launch
-            inst.start = max(ready, sr.barrier_avail)
-            finish = inst.start + inst.read + inst.proc + inst.write
-            if sr.pipeline_floor > 0:
-                finish = max(finish, sr.pipeline_floor + flush)
-                inst.start = max(inst.start, sr.pipeline_first_input)
-            inst.finish_time = finish
-            if not sr.has_inputs:
-                inst.data_arrive = ready
-            else:
-                arrivals = [ready]
-                if sr.barrier_avail > 0:
-                    arrivals.append(sr.barrier_avail)
-                if sr.pipeline_first_input > 0:
-                    arrivals.append(sr.pipeline_first_input)
-                inst.data_arrive = max(arrivals)
-            sr.n_computed += 1
-            sr.finish_estimate = max(sr.finish_estimate, inst.finish_time)
-            sr.earliest_read_done = min(sr.earliest_read_done, inst.start + inst.read)
-            self._schedule_finish(inst)
+        computed_before = sr.n_computed
+        if self._fast_path:
+            self._compute_ready_instances_fast(sr, rng, work, flush)
+        else:
+            for inst in sr.instances:
+                if inst.state != TaskState.DISPATCHED or inst.finish_time != math.inf:
+                    continue
+                inst.proc = work * (1.0 + rng.uniform(0.0, 0.06))
+                inst.read = sr.scan_read + sr.read_cost
+                inst.write = sr.write_cost
+                ready = inst.plan_arrive + inst.launch
+                inst.start = max(ready, sr.barrier_avail)
+                finish = inst.start + inst.read + inst.proc + inst.write
+                if sr.pipeline_floor > 0:
+                    finish = max(finish, sr.pipeline_floor + flush)
+                    inst.start = max(inst.start, sr.pipeline_first_input)
+                inst.finish_time = finish
+                if not sr.has_inputs:
+                    inst.data_arrive = ready
+                else:
+                    arrivals = [ready]
+                    if sr.barrier_avail > 0:
+                        arrivals.append(sr.barrier_avail)
+                    if sr.pipeline_first_input > 0:
+                        arrivals.append(sr.pipeline_first_input)
+                    inst.data_arrive = max(arrivals)
+                sr.n_computed += 1
+                sr.finish_estimate = max(sr.finish_estimate, inst.finish_time)
+                sr.earliest_read_done = min(
+                    sr.earliest_read_done, inst.start + inst.read
+                )
+                self._schedule_finish(inst)
+        if self._fast_path and sr.n_computed > computed_before:
+            self._schedule_drain(sr)
         if sr.n_computed == len(sr.instances):
             sr.computed = True
             if sr.stage.is_blocking or not self.policy.pipelined_execution:
                 sr.first_output = sr.finish_estimate
-            else:
+            else:  # streaming stage: first output follows the earliest start
                 starts = [i.start for i in sr.instances if i.start != math.inf]
                 base = min(starts) if starts else self.sim.now
                 sr.first_output = max(base, sr.pipeline_first_input) + flush
             # Unblock same-unit successors now that estimates exist.
             self._try_compute_stages(sr.job_run.units[sr.unit_id])
 
+    def _compute_ready_instances_fast(
+        self, sr: StageRun, rng, work: float, flush: float
+    ) -> None:
+        """Hot-loop variant of the per-instance timing computation.
+
+        Identical arithmetic and rng draw order to the legacy loop; stage
+        aggregates are carried in locals and written back once, and ledger
+        entries are appended in bulk with a single heapify instead of one
+        ``_schedule_finish`` call (and heap push) per instance.
+        """
+        uniform = rng.uniform
+        read = sr.scan_read + sr.read_cost
+        write = sr.write_cost
+        barrier = sr.barrier_avail
+        p_floor = sr.pipeline_floor
+        p_first = sr.pipeline_first_input
+        has_inputs = sr.has_inputs
+        finish_est = sr.finish_estimate
+        earliest = sr.earliest_read_done
+        n_computed = sr.n_computed
+        ledger = self._finish_ledger
+        seq = self._ledger_seq
+        dispatched = TaskState.DISPATCHED
+        inf = math.inf
+        appended = False
+        for inst in sr.instances:
+            if inst.state is not dispatched or inst.finish_time != inf:
+                continue
+            proc = work * (1.0 + uniform(0.0, 0.06))
+            inst.proc = proc
+            inst.read = read
+            inst.write = write
+            ready = inst.plan_arrive + inst.launch
+            start = ready if ready > barrier else barrier
+            finish = start + read + proc + write
+            if p_floor > 0:
+                floor = p_floor + flush
+                if finish < floor:
+                    finish = floor
+                if start < p_first:
+                    start = p_first
+            inst.start = start
+            inst.finish_time = finish
+            if not has_inputs:
+                inst.data_arrive = ready
+            else:
+                arrive = ready
+                if barrier > 0 and barrier > arrive:
+                    arrive = barrier
+                if p_first > 0 and p_first > arrive:
+                    arrive = p_first
+                inst.data_arrive = arrive
+            n_computed += 1
+            if finish > finish_est:
+                finish_est = finish
+            read_done = start + read
+            if read_done < earliest:
+                earliest = read_done
+            inst.event_scheduled = True
+            seq += 1
+            ledger.append((finish, seq, inst))
+            appended = True
+        sr.n_computed = n_computed
+        sr.finish_estimate = finish_est
+        sr.earliest_read_done = earliest
+        self._ledger_seq = seq
+        if appended:
+            heapq.heapify(ledger)
+
     def _schedule_finish(self, inst: TaskInstance) -> None:
         if inst.event_scheduled:
             return
         inst.event_scheduled = True
+        if self._fast_path:
+            # No simulator event per task: record the finish in the ledger;
+            # it is realised (in exact event order) by the next flush.
+            self._ledger_seq += 1
+            heapq.heappush(
+                self._finish_ledger, (inst.finish_time, self._ledger_seq, inst)
+            )
+            return
         self.sim.schedule_at(
             max(inst.finish_time, self.sim.now), self._on_task_finish, inst
         )
+
+    def _schedule_drain(self, sr: StageRun) -> None:
+        """One simulator event per computed batch, at the batch's last finish.
+
+        The drain guarantees every ledger entry of the batch is flushed no
+        later than its stage's completion time; between drains, any handler
+        that observes runtime state flushes on entry.
+        """
+        at = sr.finish_estimate
+        if at <= sr.drain_scheduled_at:
+            return
+        sr.drain_scheduled_at = at
+        outer = self._outer_now if self._flushing else self.sim.now
+        self.sim.schedule_at(max(at, outer), self._flush_finishes)
+
+    def _flush_finishes(self, strict: bool = False) -> None:
+        """Realise all deferred task finishes due by ``sim.now``.
+
+        Entries are replayed in exactly the order the legacy per-task events
+        would have fired — (finish time, schedule sequence) — with the
+        simulated clock rewound to each entry's finish time, so every
+        downstream effect (metrics, stage completion, scheduler grants, rng
+        draws, event-log records) is byte-identical to the per-task path.
+        ``strict`` excludes entries at exactly ``sim.now`` (used by handlers
+        whose legacy event ordered before same-time finish events).
+        """
+        if self._flushing:
+            return
+        ledger = self._finish_ledger
+        if not ledger:
+            return
+        sim = self.sim
+        scheduler = self.scheduler
+        target = sim.now
+        self._flushing = True
+        outer = sim.now
+        self._outer_now = outer
+        heappop = heapq.heappop
+        busy_append = self.busy_intervals.append
+        make_timing = TaskTiming
+        cluster = self.cluster
+        idle = ExecutorState.IDLE
+        revoked = ExecutorState.REVOKED
+        dispatched = TaskState.DISPATCHED
+        finished = TaskState.FINISHED
+        dead = TaskState.DEAD
+        inf = math.inf
+        # Per-stage constants (job id, stage name, instance count, metrics
+        # list) are cached across consecutive entries of the same stage —
+        # ledger order interleaves stages rarely, so this usually hits.
+        cached_sr = None
+        job_id = stage_name = tasks_append = n_instances = None
+        try:
+            while ledger:
+                finish = ledger[0][0]
+                if finish > target or (strict and finish >= target):
+                    break
+                _, _, inst = heappop(ledger)
+                inst.event_scheduled = False
+                sr = inst.stage_run
+                job_run = sr.job_run
+                if job_run.aborted or job_run.failed or inst.state is dead:
+                    continue
+                if inst.finish_time == inf:
+                    # Suspended by a crash; recovery will reschedule.
+                    continue
+                if inst.finish_time > finish + _EPS:
+                    # Finish moved after scheduling; chase it (defensive —
+                    # cannot happen while the fast path is active).
+                    self._schedule_finish(inst)
+                    continue
+                if inst.state is not dispatched:
+                    continue
+                if sr is not cached_sr:
+                    cached_sr = sr
+                    job_id = job_run.job.job_id
+                    stage_name = sr.name
+                    tasks_append = job_run.metrics.tasks.append
+                    n_instances = len(sr.instances)
+                sim._now = finish
+                inst.state = finished
+                # _finalize_instance, inlined with the executor release
+                # unrolled (fast-path invariant: machines stay healthy, so
+                # IDLE always returns the slot to the cluster's free pool).
+                plan_arrive = inst.plan_arrive
+                data_arrive = inst.data_arrive
+                tasks_append(
+                    make_timing(
+                        job_id,
+                        stage_name,
+                        inst.index,
+                        inst.attempt,
+                        plan_arrive,
+                        data_arrive if data_arrive < finish else finish,
+                        finish,
+                        inst.launch,
+                        inst.read,
+                        inst.proc,
+                        inst.write,
+                    )
+                )
+                busy_append((plan_arrive, finish))
+                executor = inst.executor
+                if executor is not None:
+                    executor.current_task = None
+                    if executor.state is not revoked:
+                        executor.state = idle
+                        executor.machine.idle_count += 1
+                        cluster._free_count += 1
+                    inst.executor = None
+                sr.n_finalized += 1
+                if sr.n_finalized == n_instances and not sr.completed:
+                    self._on_stage_completed(sr)
+                # A pump with an empty request queue cannot grant anything;
+                # skipping it here is observationally identical.  (_queue is
+                # re-read each pass: schedule() rebinds it when pruning.)
+                if scheduler._queue:
+                    self._pump_scheduler()
+        finally:
+            sim._now = outer
+            self._outer_now = None
+            self._flushing = False
 
     # ------------------------------------------------------------------
     # Completion

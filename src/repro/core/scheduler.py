@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..sim.cluster import Cluster, Executor, Machine
+from ..sim.cluster import Cluster, Executor, ExecutorState, Machine
 
 
 @dataclass
@@ -60,6 +60,10 @@ class ResourceScheduler:
         self._queue: list[ReqItem] = []
         self._next_id = 0
         self.grants_made = 0
+        #: Set by the runtime's no-failure fast path: every machine stays
+        #: healthy, so executor assignment can update states and idle
+        #: counters in bulk instead of per-executor ``assign`` calls.
+        self.fast_ops = False
         #: Head-of-line gang size we last failed to satisfy; while the free
         #: pool stays below it (and the queue is unchanged) scheduling is a
         #: guaranteed no-op, so ``schedule`` returns immediately.
@@ -151,8 +155,19 @@ class ResourceScheduler:
             executors = self._pick_executors(item, take)
             if executors is None:
                 continue
-            for executor in executors:
-                executor.assign(item)
+            if self.fast_ops:
+                # Bulk state update; identical end state to per-executor
+                # assign() when no machine is quarantined (fast-path
+                # invariant: no failures, every machine accepts tasks).
+                assigned = ExecutorState.ASSIGNED
+                for executor in executors:
+                    executor.state = assigned
+                    executor.current_task = item
+                    executor.machine.idle_count -= 1
+                self.cluster._free_count -= len(executors)
+            else:
+                for executor in executors:
+                    executor.assign(item)
             item.remaining -= len(executors)
             if item.remaining == 0:
                 item.granted = True
@@ -189,7 +204,12 @@ class ResourceScheduler:
         pools: list[list[Executor]] = []
         available = 0
         for machine in machines:
-            pool = [e for e in machine.free_executors() if id(e) not in chosen_ids]
+            # free_executors() returns a fresh list, so without a locality
+            # pre-pick it can be consumed directly instead of re-filtered.
+            if chosen_ids:
+                pool = [e for e in machine.free_executors() if id(e) not in chosen_ids]
+            else:
+                pool = machine.free_executors()
             if pool:
                 pools.append(pool)
                 available += len(pool)

@@ -1,34 +1,28 @@
 """Ablation studies for the design choices DESIGN.md calls out.
 
 These go beyond the paper's figures: each isolates one Swift mechanism by
-toggling a single policy knob on otherwise-identical workloads.
+toggling a single policy knob on otherwise-identical workloads.  Like the
+figure runners, each ablation decomposes into independent cells (see
+:mod:`repro.experiments.cells`) executed through
+:func:`repro.experiments.parallel.run_cells`, so ``--jobs N`` runs the
+knob settings concurrently without changing any result.
 """
 
 from __future__ import annotations
 
-import random
 import statistics
 
-from ..core.partition import (
-    BubblePartitioner,
-    StagePartitioner,
-    SwiftPartitioner,
-    WholeJobPartitioner,
-)
-from ..core.policies import SubmissionOrder, swift_policy
-from ..sim.config import SimConfig
-from ..sim.failures import FailureKind, FailurePlan, FailureSpec
-from ..workloads import tpch, traces
-from .harness import ExperimentResult, makespan, mean_latency, run_jobs, run_single
+from .harness import ExperimentResult
+from .parallel import Cell, run_cells
+
+#: Module that hosts the picklable cell functions.
+_CELLS = "repro.experiments.cells"
 
 
 def partitioning_ablation(n_jobs: int = 150) -> ExperimentResult:
     """Scheduling-granularity ablation: Swift graphlets vs whole-job vs
     per-stage vs data-size bubbles, all else equal (in-memory shuffle,
     pre-launched executors)."""
-    jobs = traces.generate_trace(
-        traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=0.08)
-    )
     result = ExperimentResult(
         name="ablation_partitioning",
         notes=(
@@ -39,20 +33,21 @@ def partitioning_ablation(n_jobs: int = 150) -> ExperimentResult:
         ),
     )
     partitioners = (
-        ("graphlet (swift)", SwiftPartitioner()),
-        ("whole job", WholeJobPartitioner()),
-        ("per stage", StagePartitioner()),
-        ("bubble", BubblePartitioner()),
+        ("graphlet (swift)", "swift"),
+        ("whole job", "whole_job"),
+        ("per stage", "stage"),
+        ("bubble", "bubble"),
     )
-    for label, partitioner in partitioners:
-        policy = swift_policy(name=f"swift_{partitioner.name}", partitioner=partitioner)
-        results, _ = run_jobs(policy, jobs)
-        idle = statistics.mean(r.metrics.idle_ratio() for r in results)
+    cells = [
+        Cell(_CELLS, "partitioning_cell", {"partitioner": key, "n_jobs": n_jobs})
+        for _, key in partitioners
+    ]
+    for (label, _), payload in zip(partitioners, run_cells(cells)):
         result.add(
             partitioning=label,
-            makespan_s=makespan(results),
-            mean_latency_s=mean_latency(results),
-            mean_idle_ratio_pct=100 * idle,
+            makespan_s=payload["makespan_s"],
+            mean_latency_s=payload["mean_latency_s"],
+            mean_idle_ratio_pct=payload["mean_idle_ratio_pct"],
         )
     return result
 
@@ -65,13 +60,16 @@ def submission_order_ablation(query: int = 9) -> ExperimentResult:
         name="ablation_submission_order",
         notes="conservative avoids executor idling; eager starts leaves earlier",
     )
-    for order in (SubmissionOrder.CONSERVATIVE, SubmissionOrder.EAGER):
-        policy = swift_policy(name=f"swift_{order.value}", submission=order)
-        res = run_single(policy, tpch.query_job(query))
+    orders = ("conservative", "eager")
+    cells = [
+        Cell(_CELLS, "submission_order_cell", {"order": order, "query": query})
+        for order in orders
+    ]
+    for order, payload in zip(orders, run_cells(cells)):
         result.add(
-            submission=order.value,
-            run_time_s=res.metrics.run_time,
-            mean_idle_ratio_pct=100 * res.metrics.idle_ratio(),
+            submission=order,
+            run_time_s=payload["run_time_s"],
+            mean_idle_ratio_pct=payload["mean_idle_ratio_pct"],
         )
     return result
 
@@ -82,24 +80,21 @@ def heartbeat_interval_ablation(
 ) -> ExperimentResult:
     """Failure-detection sensitivity: machine-crash recovery latency as a
     function of the heartbeat interval (Section IV-A's 5/10/15s trade-off)."""
-    base = run_single(swift_policy(), tpch.query_job(13)).metrics.run_time
+    [base] = run_cells([
+        Cell(_CELLS, "q13_runtime_cell", {"policy": "swift", "scale": 1.0})
+    ])
     result = ExperimentResult(
         name="ablation_heartbeat_interval",
         notes="machine crash at 30% of the job; detection waits for the heartbeat",
     )
-    for interval in intervals:
-        config = SimConfig()
-        config.admin.heartbeat_intervals = ((1 << 62, interval),)
-        plan = FailurePlan(
-            [FailureSpec(kind=FailureKind.MACHINE_CRASH, machine_id=1, at_fraction=0.3)]
-        )
-        res = run_single(
-            swift_policy(), tpch.query_job(13), config=config,
-            failure_plan=plan, reference_duration=base,
-        )
+    cells = [
+        Cell(_CELLS, "heartbeat_cell", {"interval": interval, "reference": base})
+        for interval in intervals
+    ]
+    for interval, run_time in zip(intervals, run_cells(cells)):
         result.add(
             heartbeat_s=interval,
-            slowdown_pct=100 * (res.metrics.run_time / base - 1),
+            slowdown_pct=100 * (run_time / base - 1),
         )
     return result
 
@@ -114,23 +109,15 @@ def cache_memory_ablation(
         name="ablation_cache_memory",
         notes="large-shuffle jobs; smaller caches force LRU spill to disk",
     )
-    jobs = traces.shuffle_class_jobs("large", n_jobs=4)
-    for capacity in capacities_gb:
-        config = SimConfig()
-        config.cache_worker.memory_capacity = int(capacity * 1024 ** 3)
-        results, runtime = run_jobs(
-            swift_policy(), jobs, n_machines=50, executors_per_machine=16,
-            config=config,
-        )
-        spills = sum(
-            machine.cache_worker.spill_events
-            for machine in runtime.cluster.machines
-            if machine.cache_worker is not None
-        )
+    cells = [
+        Cell(_CELLS, "cache_capacity_cell", {"capacity_gb": capacity, "n_jobs": 4})
+        for capacity in capacities_gb
+    ]
+    for capacity, payload in zip(capacities_gb, run_cells(cells)):
         result.add(
             cache_gb=capacity,
-            mean_latency_s=mean_latency(results),
-            spill_events=spills,
+            mean_latency_s=payload["mean_latency_s"],
+            spill_events=payload["spill_events"],
         )
     return result
 
@@ -142,29 +129,25 @@ def failure_rate_sweep(
 ) -> ExperimentResult:
     """How gracefully each recovery policy degrades as failures get more
     frequent (extends Fig. 15 into a sweep)."""
-    from ..baselines import restart_policy
-    from ..sim.failures import sample_trace_failures
-
-    jobs = traces.generate_trace(
-        traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=0.3)
-    )
-    base_results, _ = run_jobs(swift_policy(), jobs)
-    base = {r.job_id: r.metrics.latency for r in base_results}
+    [base] = run_cells([
+        Cell(_CELLS, "trace_base_latency_cell",
+             {"n_jobs": n_jobs, "mean_interarrival": 0.3})
+    ])
     result = ExperimentResult(name="ablation_failure_rate_sweep")
-    for rate in rates:
-        plan = sample_trace_failures(
-            [j.job_id for j in jobs], rate, random.Random(seed)
-        )
+    # (cell key, row label) — restart_policy() names itself "swift_restart".
+    policies = (("swift", "swift"), ("restart", "swift_restart"))
+    cells = [
+        Cell(_CELLS, "trace_failure_cell",
+             {"policy": policy, "n_jobs": n_jobs, "mean_interarrival": 0.3,
+              "failure_rate": rate, "seed": seed, "reference": base})
+        for rate in rates
+        for policy, _ in policies
+    ]
+    slowdown_lists = run_cells(cells)
+    for r, rate in enumerate(rates):
         row: dict[str, object] = {"failure_rate": rate}
-        for policy in (swift_policy(), restart_policy()):
-            results, _ = run_jobs(
-                policy, jobs, failure_plan=plan, reference_duration=base
-            )
-            slowdowns = [
-                100 * (r.metrics.latency / base[r.job_id] - 1)
-                for r in results
-                if base.get(r.job_id, 0) > 0
-            ]
-            row[f"{policy.name}_slowdown_pct"] = statistics.mean(slowdowns)
+        for p, (_, label) in enumerate(policies):
+            slowdowns = slowdown_lists[r * len(policies) + p]
+            row[f"{label}_slowdown_pct"] = statistics.mean(slowdowns)
         result.add(**row)
     return result

@@ -1,0 +1,221 @@
+"""Substrate benchmarks: event kernel, fast path, and parallel harness.
+
+``python -m repro bench`` runs these scenarios and writes
+``BENCH_simulator.json`` so the fast-path speedup is tracked in-repo
+against the legacy kernel measured in the same file:
+
+* **event_engine** — raw event throughput of the simulation kernel.
+* **cancel_heavy** — throughput when most scheduled events are cancelled
+  (exercises lazy deletion + heap compaction).
+* **terasort** — end-to-end simulation rate of a 100x100 Terasort job.
+  The baseline is the legacy one-event-per-task kernel
+  (``fast_path=False``) driven by the pre-fast-path ``peek``/``step``
+  loop; the measured run uses the finish-ledger fast path.  Results of
+  the two kernels are byte-identical (see the determinism tests) — only
+  the wall-clock differs.
+* **parallel_replay** — wall-clock of a three-system trace replay,
+  serial vs fanned across worker processes.
+
+All timings are min-of-rounds ``perf_counter`` measurements; min (not
+mean) is the standard way to suppress scheduler noise on shared machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Optional
+
+from ..core.policies import swift_policy
+from ..core.runtime import SwiftRuntime
+from ..sim.cluster import Cluster
+from ..sim.engine import Simulator
+from ..workloads import terasort
+from .parallel import Cell, clear_memory_cache, run_cells
+
+#: Module that hosts the picklable cell functions.
+_CELLS = "repro.experiments.cells"
+
+
+def _min_time(fn: Callable[[], object], rounds: int) -> tuple[float, object]:
+    """Best-of-``rounds`` wall time in seconds, plus the last return value."""
+    best = float("inf")
+    value: object = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def bench_event_engine(n_events: int = 100_000, rounds: int = 3) -> dict[str, float]:
+    """Raw kernel throughput: schedule ``n_events`` no-op callbacks, drain."""
+    def scenario() -> int:
+        sim = Simulator()
+        for i in range(n_events):
+            sim.schedule(float(i % 97) / 10, _noop)
+        sim.run()
+        return sim.events_processed
+
+    elapsed, processed = _min_time(scenario, rounds)
+    assert processed == n_events
+    return {
+        "n_events": n_events,
+        "best_ms": 1e3 * elapsed,
+        "events_per_s": n_events / elapsed,
+    }
+
+
+def _noop() -> None:
+    return None
+
+
+def bench_cancel_heavy(
+    n_events: int = 100_000, cancel_fraction: float = 0.75, rounds: int = 3
+) -> dict[str, float]:
+    """Kernel throughput when most events are cancelled before running.
+
+    Mirrors failure-recovery replays, which schedule speculative recovery
+    events and cancel nearly all of them; lazy deletion plus compaction
+    must keep the heap small and ``pending_events`` O(1).
+    """
+    n_cancelled = int(n_events * cancel_fraction)
+
+    def scenario() -> int:
+        sim = Simulator()
+        events = [
+            sim.schedule(float(i % 97) / 10, _noop) for i in range(n_events)
+        ]
+        for event in events[:n_cancelled]:
+            event.cancel()
+        assert sim.pending_events() == n_events - n_cancelled
+        sim.run()
+        return sim.events_processed
+
+    elapsed, processed = _min_time(scenario, rounds)
+    assert processed == n_events - n_cancelled
+    return {
+        "n_events": n_events,
+        "cancel_fraction": cancel_fraction,
+        "best_ms": 1e3 * elapsed,
+        "events_per_s": n_events / elapsed,
+    }
+
+
+def _run_terasort(m: int, n: int, fast_path: bool, peek_step: bool) -> int:
+    """One Terasort run; returns the task count.  ``peek_step`` drives the
+    simulation with the pre-fast-path peek/step loop (the legacy driver)."""
+    runtime = SwiftRuntime(
+        Cluster.build(20, 16), swift_policy(), fast_path=fast_path
+    )
+    runtime.submit(terasort.terasort_job(m, n))
+    if peek_step:
+        sim = runtime.sim
+        while sim.peek_time() is not None:
+            sim.step()
+        results = runtime.results
+    else:
+        results = runtime.run()
+    return len(results[0].metrics.tasks)
+
+
+def bench_terasort(m: int = 100, n: int = 100, rounds: int = 5) -> dict[str, float]:
+    """End-to-end simulation rate: legacy kernel baseline vs fast path."""
+    base_s, tasks = _min_time(
+        lambda: _run_terasort(m, n, fast_path=False, peek_step=True), rounds
+    )
+    fast_s, fast_tasks = _min_time(
+        lambda: _run_terasort(m, n, fast_path=True, peek_step=False), rounds
+    )
+    assert tasks == fast_tasks
+    return {
+        "job": f"terasort_{m}x{n}",
+        "tasks": tasks,
+        "baseline_ms": 1e3 * base_s,
+        "fast_ms": 1e3 * fast_s,
+        "baseline_tasks_per_s": tasks / base_s,
+        "fast_tasks_per_s": tasks / fast_s,
+        "speedup": base_s / fast_s,
+    }
+
+
+def bench_parallel_replay(
+    n_jobs: int = 120, workers: int = 3, rounds: int = 1
+) -> dict[str, float]:
+    """Wall-clock of the three-system trace replay, serial vs fanned out.
+
+    The result payloads are identical either way (the determinism tests
+    assert it); this measures only the harness speedup.  Caches are
+    cleared before each measurement so both runs do the full work.
+    """
+    cells = [
+        Cell(_CELLS, "trace_replay_cell",
+             {"policy": name, "n_jobs": n_jobs, "mean_interarrival": 0.08})
+        for name in ("swift", "bubble", "jetscope")
+    ]
+    saved_cache_env = os.environ.pop("REPRO_CACHE_DIR", None)
+    try:
+        def serial() -> object:
+            clear_memory_cache()
+            return run_cells(cells, jobs=1)
+
+        def fanned() -> object:
+            clear_memory_cache()
+            return run_cells(cells, jobs=workers)
+
+        serial_s, _ = _min_time(serial, rounds)
+        fanned_s, _ = _min_time(fanned, rounds)
+    finally:
+        clear_memory_cache()
+        if saved_cache_env is not None:
+            os.environ["REPRO_CACHE_DIR"] = saved_cache_env
+    return {
+        "n_jobs": n_jobs,
+        "workers": workers,
+        # Fan-out only beats serial with real cores to spread across; the
+        # count makes a sub-1x speedup on a 1-core box interpretable.
+        "cpu_count": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "parallel_s": fanned_s,
+        "speedup": serial_s / fanned_s,
+    }
+
+
+def run_benchmarks(
+    quick: bool = False, echo: Optional[Callable[[str], None]] = None
+) -> dict[str, object]:
+    """Run every scenario and return the BENCH_simulator.json payload."""
+    def say(message: str) -> None:
+        if echo:
+            echo(message)
+
+    n_events = 20_000 if quick else 100_000
+    rounds = 2 if quick else 5
+    payload: dict[str, object] = {
+        "generated_by": "python -m repro bench" + (" --quick" if quick else ""),
+    }
+    say("event engine ...")
+    payload["event_engine"] = bench_event_engine(n_events=n_events, rounds=min(rounds, 3))
+    say("cancel-heavy engine ...")
+    payload["cancel_heavy"] = bench_cancel_heavy(n_events=n_events, rounds=min(rounds, 3))
+    say("terasort fast path vs legacy kernel ...")
+    payload["terasort"] = bench_terasort(rounds=rounds)
+    say("parallel replay harness ...")
+    payload["parallel_replay"] = bench_parallel_replay(
+        n_jobs=60 if quick else 120
+    )
+    return payload
+
+
+def write_bench_file(
+    path: str = "BENCH_simulator.json",
+    quick: bool = False,
+    echo: Optional[Callable[[str], None]] = None,
+) -> dict[str, object]:
+    """Run the benchmarks and write the JSON document to ``path``."""
+    payload = run_benchmarks(quick=quick, echo=echo)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload

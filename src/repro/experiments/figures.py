@@ -5,6 +5,13 @@ result on the simulator and returns an
 :class:`~repro.experiments.harness.ExperimentResult` whose rows mirror the
 paper's rows/series.  ``PAPER`` holds the published values so benchmarks can
 print paper-vs-measured side by side.
+
+Every experiment is decomposed into independent cells (one simulation per
+policy/config/seed combination, defined in :mod:`repro.experiments.cells`)
+and executed through :func:`repro.experiments.parallel.run_cells`, so
+``--jobs N`` fans the cells across worker processes.  The decomposition is
+fixed per experiment — never a function of the worker count — which keeps
+parallel results byte-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -13,15 +20,19 @@ import random
 import statistics
 from typing import Sequence
 
-from ..baselines import bubble_policy, jetscope_policy, restart_policy, spark_policy
 from ..core.dag import Job
 from ..core.metrics import four_quartile_summary, normalized_cdf, utilization_series
-from ..core.policies import swift_policy
-from ..core.shuffle import ShuffleScheme
-from ..sim.config import SimConfig
-from ..sim.failures import FailureKind, FailurePlan, FailureSpec, sample_trace_failures
 from ..workloads import terasort, tpch, traces
-from .harness import ExperimentResult, makespan, mean_latency, run_jobs, run_single
+from .harness import ExperimentResult
+from .parallel import Cell, run_cells
+
+#: Module that hosts the picklable cell functions.
+_CELLS = "repro.experiments.cells"
+
+#: Fig. 8 splits its runtime sample into this many cells.  A spec constant
+#: (not the worker count!) so the merged multiset of runtimes is identical
+#: for any ``--jobs`` value.
+FIG8_RUNTIME_CHUNKS = 8
 
 #: Published values from the paper, used for paper-vs-measured reporting.
 PAPER: dict[str, object] = {
@@ -65,14 +76,15 @@ def fig3_idle_ratio(n_jobs: int = 150, n_machines: int = 100) -> ExperimentResul
         name="fig3_idle_ratio",
         notes="paper: 3.81 / 13.15 / 14.45 / 14.92 % across clusters #1-#4",
     )
-    for profile in range(4):
-        jobs = traces.cluster_profile_jobs(profile, n_jobs=n_jobs)
-        results, _ = run_jobs(jetscope_policy(), jobs, n_machines=n_machines)
-        per_job = [r.metrics.idle_ratio() for r in results]
-        summary = four_quartile_summary(per_job)
+    cells = [
+        Cell(_CELLS, "fig3_profile_cell",
+             {"profile": profile, "n_jobs": n_jobs, "n_machines": n_machines})
+        for profile in range(4)
+    ]
+    for profile, pct in enumerate(run_cells(cells)):
         result.add(
             cluster=f"#{profile + 1}",
-            idle_ratio_pct=100.0 * summary["iq_mean"],
+            idle_ratio_pct=pct,
             paper_pct=PAPER["fig3_idle_ratio_pct"][profile],
         )
     return result
@@ -84,14 +96,14 @@ def fig3_idle_ratio(n_jobs: int = 150, n_machines: int = 100) -> ExperimentResul
 
 def fig8_trace_characteristics(n_jobs: int = 2000) -> ExperimentResult:
     """Runtime and size distributions of the generated trace (Fig. 8)."""
-    jobs = traces.generate_trace(traces.TraceConfig(n_jobs=n_jobs))
-    stats = traces.trace_statistics(jobs)
-    # Run a sample of jobs unloaded to measure the runtime distribution.
-    sample = jobs[:: max(1, n_jobs // 300)]
-    runtimes: list[float] = []
-    for job in sample:
-        solo = Job(dag=job.dag, submit_time=0.0)
-        runtimes.append(run_single(swift_policy(), solo).metrics.run_time)
+    cells = [Cell(_CELLS, "fig8_stats_cell", {"n_jobs": n_jobs})] + [
+        Cell(_CELLS, "fig8_runtime_cell",
+             {"n_jobs": n_jobs, "chunk": chunk, "n_chunks": FIG8_RUNTIME_CHUNKS})
+        for chunk in range(FIG8_RUNTIME_CHUNKS)
+    ]
+    payloads = run_cells(cells)
+    stats = payloads[0]
+    runtimes = [t for chunk in payloads[1:] for t in chunk]
     runtimes.sort()
     frac_under_120 = sum(1 for r in runtimes if r <= 120.0) / len(runtimes)
     result = ExperimentResult(
@@ -116,10 +128,13 @@ def fig9a_tpch(
     result = ExperimentResult(
         name="fig9a_tpch", notes="paper: total speedup 2.11x over Spark SQL 2.4.6"
     )
+    cells = [
+        Cell(_CELLS, "tpch_query_cell", {"query": query, "scale": scale})
+        for query in queries
+    ]
     total_swift = total_spark = 0.0
-    for query in queries:
-        swift_t = run_single(swift_policy(), tpch.query_job(query, scale)).metrics.run_time
-        spark_t = run_single(spark_policy(), tpch.query_job(query, scale)).metrics.run_time
+    for query, payload in zip(queries, run_cells(cells)):
+        swift_t, spark_t = payload["swift_s"], payload["spark_s"]
         total_swift += swift_t
         total_spark += spark_t
         result.add(query=f"Q{query}", swift_s=swift_t, spark_s=spark_t,
@@ -138,17 +153,18 @@ def fig9b_q9_phases(scale: float = 1.0) -> ExperimentResult:
             "Spark disk shuffle 137.8s / 133.9s"
         ),
     )
-    swift_res = run_single(swift_policy(), tpch.query_job(9, scale))
-    spark_res = run_single(spark_policy(), tpch.query_job(9, scale))
+    swift_phases, spark_phases = run_cells([
+        Cell(_CELLS, "q9_phase_cell", {"policy": "swift", "scale": scale}),
+        Cell(_CELLS, "q9_phase_cell", {"policy": "spark", "scale": scale}),
+    ])
     for stage in tpch.Q9_CRITICAL_STAGES:
-        sw = swift_res.metrics.phase_breakdown(stage)
-        sp = spark_res.metrics.phase_breakdown(stage)
+        sw, sp = swift_phases[stage], spark_phases[stage]
         result.add(
             stage=stage,
-            swift_L=sw.launch, swift_SR=sw.shuffle_read,
-            swift_P=sw.processing, swift_SW=sw.shuffle_write,
-            spark_L=sp.launch, spark_SR=sp.shuffle_read,
-            spark_P=sp.processing, spark_SW=sp.shuffle_write,
+            swift_L=sw["L"], swift_SR=sw["SR"],
+            swift_P=sw["P"], swift_SW=sw["SW"],
+            spark_L=sp["L"], spark_SR=sp["SR"],
+            spark_P=sp["P"], spark_SW=sp["SW"],
         )
     return result
 
@@ -165,9 +181,9 @@ def table1_terasort(
         name="table1_terasort",
         notes="paper speedups: 3.07 / 3.96 / 7.06 / 14.18 as size grows",
     )
-    for m, n in sizes:
-        swift_t = run_single(swift_policy(), terasort.terasort_job(m, n)).metrics.run_time
-        spark_t = run_single(spark_policy(), terasort.terasort_job(m, n)).metrics.run_time
+    cells = [Cell(_CELLS, "terasort_cell", {"m": m, "n": n}) for m, n in sizes]
+    for (m, n), payload in zip(sizes, run_cells(cells)):
+        swift_t, spark_t = payload["swift_s"], payload["spark_s"]
         paper = PAPER["table1"].get((m, n))  # type: ignore[union-attr]
         result.add(
             job_size=f"{m}x{n}", spark_s=spark_t, swift_s=swift_t,
@@ -181,23 +197,22 @@ def table1_terasort(
 # Figs. 10 & 11 — trace replay against JetScope and Bubble Execution
 # ----------------------------------------------------------------------
 
-_REPLAY_CACHE: dict[tuple[int, float], dict[str, tuple[list, object]]] = {}
+_REPLAY_SYSTEMS = ("swift", "bubble", "jetscope")
 
 
 def _replay_three_systems(
     n_jobs: int, mean_interarrival: float
-) -> dict[str, tuple[list, object]]:
-    key = (n_jobs, mean_interarrival)
-    if key not in _REPLAY_CACHE:
-        jobs = traces.generate_trace(
-            traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=mean_interarrival)
-        )
-        out: dict[str, tuple[list, object]] = {}
-        for policy in (swift_policy(), bubble_policy(), jetscope_policy()):
-            results, runtime = run_jobs(policy, jobs)
-            out[policy.name] = (results, runtime)
-        _REPLAY_CACHE[key] = out
-    return _REPLAY_CACHE[key]
+) -> dict[str, dict[str, object]]:
+    """Replay payloads per system; one cell each, so ``--jobs 3`` runs the
+    three systems concurrently (the memory cache dedups repeat calls across
+    fig10/fig11 within one process, replacing the old module-level cache)."""
+    cells = [
+        Cell(_CELLS, "trace_replay_cell",
+             {"policy": name, "n_jobs": n_jobs,
+              "mean_interarrival": mean_interarrival})
+        for name in _REPLAY_SYSTEMS
+    ]
+    return dict(zip(_REPLAY_SYSTEMS, run_cells(cells)))
 
 
 def fig10_executor_timeseries(
@@ -209,16 +224,16 @@ def fig10_executor_timeseries(
         name="fig10_executor_timeseries",
         notes="paper: Swift 240s, Bubble 296s; 2.44x / 1.98x speedup over JetScope",
     )
-    spans = {name: makespan(results) for name, (results, _) in replay.items()}
+    spans = {name: payload["makespan"] for name, payload in replay.items()}
     horizon = max(spans.values())
     series = {
-        name: utilization_series(runtime.busy_intervals, step, horizon)
-        for name, (_, runtime) in replay.items()
+        name: utilization_series(payload["busy_intervals"], step, horizon)
+        for name, payload in replay.items()
     }
     n_points = len(next(iter(series.values())))
     for i in range(n_points):
         row: dict[str, object] = {"time_s": series["swift"][i].time}
-        for name in ("swift", "bubble", "jetscope"):
+        for name in _REPLAY_SYSTEMS:
             row[f"{name}_running"] = series[name][i].running_executors
         result.add(**row)
     result.add(
@@ -235,7 +250,7 @@ def fig10_makespans(
 ) -> dict[str, float]:
     """Makespans of the three systems (the headline Fig. 10 numbers)."""
     replay = _replay_three_systems(n_jobs, mean_interarrival)
-    return {name: makespan(results) for name, (results, _) in replay.items()}
+    return {name: payload["makespan"] for name, payload in replay.items()}
 
 
 def fig11_latency_cdf(
@@ -243,13 +258,13 @@ def fig11_latency_cdf(
 ) -> ExperimentResult:
     """CDF of job latency normalized to Swift (Fig. 11)."""
     replay = _replay_three_systems(n_jobs, mean_interarrival)
-    swift_lat = {r.job_id: r.metrics.latency for r in replay["swift"][0]}
+    swift_lat = replay["swift"]["latencies"]
     result = ExperimentResult(
         name="fig11_latency_cdf",
         notes="paper: >60% of JetScope jobs at >=2x Swift latency; Bubble close to Swift",
     )
     for name in ("bubble", "jetscope"):
-        lat = {r.job_id: r.metrics.latency for r in replay[name][0]}
+        lat = replay[name]["latencies"]
         ordered = sorted(swift_lat)
         cdf = normalized_cdf(
             [lat[j] for j in ordered], [swift_lat[j] for j in ordered]
@@ -284,22 +299,19 @@ def fig12_shuffle_ablation(
             "large->Local (Direct +108.3%, Remote +47.9%)"
         ),
     )
-    # Congestion constants are calibrated against this experiment's own
-    # cluster (the paper ran it on its large cluster with background load).
-    config = SimConfig()
-    config.network.reference_machines = n_machines
-    schemes = (ShuffleScheme.DIRECT, ShuffleScheme.LOCAL, ShuffleScheme.REMOTE)
-    for category in ("small", "medium", "large"):
-        jobs = traces.shuffle_class_jobs(category, n_jobs=n_jobs)
-        times: dict[str, float] = {}
-        for scheme in schemes:
-            policy = swift_policy(name=f"swift_{scheme.value}", shuffle=scheme)
-            results, _ = run_jobs(
-                policy, jobs, n_machines=n_machines,
-                executors_per_machine=executors_per_machine,
-                config=config.copy(),
-            )
-            times[scheme.value] = mean_latency(results)
+    categories = ("small", "medium", "large")
+    schemes = ("direct", "local", "remote")
+    cells = [
+        Cell(_CELLS, "shuffle_scheme_cell",
+             {"category": category, "scheme": scheme, "n_jobs": n_jobs,
+              "n_machines": n_machines,
+              "executors_per_machine": executors_per_machine})
+        for category in categories
+        for scheme in schemes
+    ]
+    latencies = run_cells(cells)
+    for c, category in enumerate(categories):
+        times = dict(zip(schemes, latencies[c * len(schemes):(c + 1) * len(schemes)]))
         base = times["direct"]
         paper = PAPER["fig12"][category]  # type: ignore[index]
         result.add(
@@ -319,25 +331,19 @@ def adaptive_shuffle_envelope(
 ) -> ExperimentResult:
     """Ablation: adaptive selection tracks the best fixed scheme per class."""
     result = ExperimentResult(name="adaptive_shuffle_envelope")
-    config = SimConfig()
-    config.network.reference_machines = n_machines
-    schemes = (
-        ShuffleScheme.DIRECT,
-        ShuffleScheme.LOCAL,
-        ShuffleScheme.REMOTE,
-        ShuffleScheme.ADAPTIVE,
-    )
-    for category in ("small", "medium", "large"):
-        jobs = traces.shuffle_class_jobs(category, n_jobs=n_jobs)
-        times: dict[str, float] = {}
-        for scheme in schemes:
-            policy = swift_policy(name=f"swift_{scheme.value}", shuffle=scheme)
-            results, _ = run_jobs(
-                policy, jobs, n_machines=n_machines,
-                executors_per_machine=executors_per_machine,
-                config=config.copy(),
-            )
-            times[scheme.value] = mean_latency(results)
+    categories = ("small", "medium", "large")
+    schemes = ("direct", "local", "remote", "adaptive")
+    cells = [
+        Cell(_CELLS, "shuffle_scheme_cell",
+             {"category": category, "scheme": scheme, "n_jobs": n_jobs,
+              "n_machines": n_machines,
+              "executors_per_machine": executors_per_machine})
+        for category in categories
+        for scheme in schemes
+    ]
+    latencies = run_cells(cells)
+    for c, category in enumerate(categories):
+        times = dict(zip(schemes, latencies[c * len(schemes):(c + 1) * len(schemes)]))
         fixed_best = min(times["direct"], times["local"], times["remote"])
         result.add(
             shuffle_class=category,
@@ -385,22 +391,28 @@ FIG14_INJECTIONS: tuple[tuple[float, str], ...] = (
 
 
 def fig14_fault_injection(scale: float = 1.0) -> ExperimentResult:
-    """Single-failure injections into Q13, Swift vs job restart (Fig. 14)."""
-    baseline = run_single(swift_policy(), tpch.query_job(13, scale)).metrics.run_time
+    """Single-failure injections into Q13, Swift vs job restart (Fig. 14).
+
+    Two-phase fan-out: the failure-free baseline runs first (its runtime
+    parameterizes every injection), then all ten injected runs go wide.
+    """
+    [baseline] = run_cells([
+        Cell(_CELLS, "q13_runtime_cell", {"policy": "swift", "scale": scale})
+    ])
     result = ExperimentResult(
         name="fig14_fault_injection",
         notes="paper: Swift slowdown <10% for all injections; restart up to ~100%",
     )
-    for fraction, stage in FIG14_INJECTIONS:
-        spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage=stage, at_fraction=fraction)
-        swift_t = run_single(
-            swift_policy(), tpch.query_job(13, scale),
-            failure_plan=FailurePlan([spec]), reference_duration=baseline,
-        ).metrics.run_time
-        restart_t = run_single(
-            restart_policy(), tpch.query_job(13, scale),
-            failure_plan=FailurePlan([spec]), reference_duration=baseline,
-        ).metrics.run_time
+    cells = [
+        Cell(_CELLS, "fig14_injection_cell",
+             {"policy": policy, "stage": stage, "fraction": fraction,
+              "scale": scale, "reference": baseline})
+        for fraction, stage in FIG14_INJECTIONS
+        for policy in ("swift", "restart")
+    ]
+    times = run_cells(cells)
+    for i, (fraction, stage) in enumerate(FIG14_INJECTIONS):
+        swift_t, restart_t = times[2 * i], times[2 * i + 1]
         result.add(
             inject_at=round(100 * fraction),
             stage=stage,
@@ -420,30 +432,26 @@ def fig15_trace_failures(
     nearly every job suffers one, which is what makes whole-job restart
     average a ~45% slowdown in the paper.
     """
-    jobs = traces.generate_trace(
-        traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=0.3)
-    )
-    plan = sample_trace_failures(
-        [j.job_id for j in jobs], failure_rate, random.Random(seed)
-    )
-    base_results, _ = run_jobs(swift_policy(), jobs)
-    base = {r.job_id: r.metrics.latency for r in base_results}
+    [base] = run_cells([
+        Cell(_CELLS, "trace_base_latency_cell",
+             {"n_jobs": n_jobs, "mean_interarrival": 0.3})
+    ])
     result = ExperimentResult(
         name="fig15_trace_failures",
         notes="paper: job restart +45% average slowdown; Swift fine-grained +5%",
     )
-    for policy in (swift_policy(), restart_policy()):
-        results, _ = run_jobs(
-            policy, jobs, failure_plan=plan, reference_duration=base
-        )
-        slowdowns = [
-            100.0 * (r.metrics.latency / base[r.job_id] - 1.0)
-            for r in results
-            if base.get(r.job_id, 0) > 0
-        ]
+    cells = [
+        Cell(_CELLS, "trace_failure_cell",
+             {"policy": policy, "n_jobs": n_jobs, "mean_interarrival": 0.3,
+              "failure_rate": failure_rate, "seed": seed, "reference": base})
+        for policy in ("swift", "restart")
+    ]
+    # Row labels match the policies' own names (restart_policy() is
+    # "swift_restart"), exactly as the pre-cell implementation reported.
+    for label, slowdowns in zip(("swift", "swift_restart"), run_cells(cells)):
         summary = four_quartile_summary(slowdowns)
         result.add(
-            policy=policy.name,
+            policy=label,
             mean_slowdown_pct=summary["iq_mean"],
             median_slowdown_pct=summary["median"],
             q3_slowdown_pct=summary["q3"],
@@ -499,17 +507,14 @@ def fig16_scalability(
         name="fig16_scalability",
         notes="paper: near-linear speedup from 10,000 to 140,000 executors",
     )
-    for count in executor_counts:
-        per_machine = max(1, count // n_machines)
-        jobs = scalability_workload(
-            n_jobs=n_jobs, tasks_per_stage=tasks_per_stage,
-            work_seconds=work_seconds,
-        )
-        results, _ = run_jobs(
-            swift_policy(), jobs, n_machines=n_machines,
-            executors_per_machine=per_machine,
-        )
-        result.add(executors=count, makespan_s=makespan(results))
+    cells = [
+        Cell(_CELLS, "fig16_count_cell",
+             {"count": count, "n_machines": n_machines, "n_jobs": n_jobs,
+              "tasks_per_stage": tasks_per_stage, "work_seconds": work_seconds})
+        for count in executor_counts
+    ]
+    for count, span in zip(executor_counts, run_cells(cells)):
+        result.add(executors=count, makespan_s=span)
     base = float(result.rows[0]["makespan_s"])  # type: ignore[arg-type]
     base_count = executor_counts[0]
     for row in result.rows:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -31,13 +32,27 @@ class ExperimentResult:
 
     def to_json(self) -> str:
         """Serialize name, rows, and notes as a JSON document."""
-        import json
-
         return json.dumps(
             {"name": self.name, "notes": self.notes, "rows": self.rows},
             indent=2,
             default=str,
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            rows=list(payload.get("rows", [])),
+            notes=payload.get("notes", ""),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the :meth:`to_json` document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
 
     def format_table(self) -> str:
         """Render the rows as an aligned text table."""
@@ -79,11 +94,14 @@ def run_jobs(
     config: Optional[SimConfig] = None,
     failure_plan: Optional[FailurePlan] = None,
     reference_duration: float = 100.0,
+    fast_path: bool = True,
 ) -> tuple[list[JobResult], SwiftRuntime]:
     """Execute ``jobs`` under ``policy`` on a fresh cluster.
 
     Returns the per-job results and the runtime (for utilization series,
-    admin stats, and other cross-job introspection).
+    admin stats, and other cross-job introspection).  ``fast_path=False``
+    forces the legacy one-event-per-task kernel (results are identical; see
+    the determinism tests).
     """
     cluster = build_cluster(n_machines, executors_per_machine, config)
     runtime = SwiftRuntime(
@@ -92,6 +110,7 @@ def run_jobs(
         config=config,
         failure_plan=failure_plan,
         reference_duration=reference_duration,
+        fast_path=fast_path,
     )
     runtime.submit_all(list(jobs))
     results = runtime.run()
@@ -106,6 +125,7 @@ def run_single(
     config: Optional[SimConfig] = None,
     failure_plan: Optional[FailurePlan] = None,
     reference_duration: float = 100.0,
+    fast_path: bool = True,
 ) -> JobResult:
     """Execute one job on a fresh cluster and return its result."""
     results, _ = run_jobs(
@@ -116,6 +136,7 @@ def run_single(
         config,
         failure_plan,
         reference_duration,
+        fast_path,
     )
     if not results:
         raise RuntimeError(f"job {job.job_id} produced no result")

@@ -1,0 +1,198 @@
+"""Parallel experiment harness: fan independent simulation cells across
+worker processes, with a spec-hashed result cache.
+
+Every paper experiment decomposes into independent *cells* — one
+(policy, configuration, seed) simulation whose result is a small JSON
+payload.  A :class:`Cell` names a module-level function plus keyword
+arguments built only from JSON primitives, so the spec both pickles
+cleanly into a ``ProcessPoolExecutor`` worker and hashes canonically for
+the cache.
+
+Design rules that keep parallel runs byte-identical to serial ones:
+
+* Cells never share state: each cell builds its own cluster, workload,
+  and RNGs from the seeds in its kwargs.
+* The cell *decomposition* of an experiment is fixed — it never depends
+  on how many workers execute it, so ``--jobs 1`` and ``--jobs 8``
+  produce identical rows in identical order.
+* Every payload — fresh or cached — is normalised through a JSON
+  round-trip, so a result served from the cache is indistinguishable
+  from one computed in-process (tuples become lists either way).
+
+The cache has two layers: a per-process memory cache (always on; repeat
+sections inside one report run are free) and an optional on-disk cache
+keyed by the spec hash, enabled by passing ``cache_dir`` or setting
+``REPRO_CACHE_DIR``.  Editing a cell function's inputs changes the hash,
+so stale entries are never served; editing its *code* requires clearing
+the directory (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+#: Environment variable consulted for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+#: Environment variable enabling the on-disk result cache.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+_default_jobs: Optional[int] = None
+#: Process-wide memory cache: spec hash -> normalised payload.
+_MEMORY_CACHE: dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of experiment work.
+
+    ``module``/``func`` name a module-level function (anything importable
+    under ``repro.*``); ``kwargs`` must contain only JSON primitives
+    (str/int/float/bool/None and lists/dicts of them) so the spec is both
+    picklable and canonically hashable.
+    """
+
+    module: str
+    func: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> str:
+        """Stable content hash of this cell's full spec."""
+        spec = {"module": self.module, "func": self.func, "kwargs": self.kwargs}
+        blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def set_default_jobs(n: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` resets it).
+
+    The CLI's ``--jobs`` flag routes through here so experiment functions
+    deep inside ``figures``/``ablations`` pick it up without threading a
+    parameter through every call site.
+    """
+    global _default_jobs
+    if n is not None and n < 1:
+        raise ValueError(f"jobs must be >= 1, got {n}")
+    _default_jobs = n
+
+
+def default_jobs() -> int:
+    """Resolve the effective worker count: explicit > $REPRO_JOBS > 1."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-process cached payload (tests use this for isolation)."""
+    _MEMORY_CACHE.clear()
+
+
+def _cache_dir(override: Optional[str]) -> Optional[str]:
+    return override if override is not None else os.environ.get(CACHE_ENV) or None
+
+
+def _normalize(payload: Any) -> Any:
+    """JSON round-trip so fresh and cached payloads are byte-identical."""
+    return json.loads(json.dumps(payload, default=str))
+
+
+def _call_cell(module: str, func: str, kwargs: dict[str, Any]) -> Any:
+    """Worker entry point: import the cell function and run it.
+
+    Module-level (not a closure) so it pickles into spawn/fork workers.
+    """
+    target = getattr(importlib.import_module(module), func)
+    return _normalize(target(**kwargs))
+
+
+def _disk_load(directory: str, key: str) -> Optional[Any]:
+    path = os.path.join(directory, f"{key}.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _disk_store(directory: str, key: str, payload: Any) -> None:
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{key}.json")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except OSError:
+        # The cache is best-effort; a read-only directory must not fail a run.
+        pass
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> list[Any]:
+    """Execute ``cells`` and return their payloads in submission order.
+
+    ``jobs`` > 1 fans uncached cells across a ``ProcessPoolExecutor``;
+    the merge order is always the input order, so results are identical
+    to a serial run regardless of worker count or completion order.
+    """
+    n_jobs = jobs if jobs is not None else default_jobs()
+    if n_jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {n_jobs}")
+    directory = _cache_dir(cache_dir)
+
+    results: list[Any] = [None] * len(cells)
+    misses: list[int] = []
+    for i, cell in enumerate(cells):
+        key = cell.key()
+        if key in _MEMORY_CACHE:
+            results[i] = _MEMORY_CACHE[key]
+            continue
+        if directory is not None:
+            payload = _disk_load(directory, key)
+            if payload is not None:
+                _MEMORY_CACHE[key] = payload
+                results[i] = payload
+                continue
+        misses.append(i)
+
+    if misses:
+        if n_jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=min(n_jobs, len(misses))) as pool:
+                futures = [
+                    pool.submit(_call_cell, cells[i].module, cells[i].func, cells[i].kwargs)
+                    for i in misses
+                ]
+                fresh = [future.result() for future in futures]
+        else:
+            fresh = [
+                _call_cell(cells[i].module, cells[i].func, cells[i].kwargs)
+                for i in misses
+            ]
+        for i, payload in zip(misses, fresh):
+            key = cells[i].key()
+            _MEMORY_CACHE[key] = payload
+            if directory is not None:
+                _disk_store(directory, key, payload)
+            results[i] = payload
+
+    return results
+
+
+def run_cell(cell: Cell, cache_dir: Optional[str] = None) -> Any:
+    """Execute one cell in-process (still consulting both caches)."""
+    return run_cells([cell], jobs=1, cache_dir=cache_dir)[0]

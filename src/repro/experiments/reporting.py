@@ -183,6 +183,16 @@ def build_report(quick: bool = False, echo: Callable[[str], None] | None = None)
         "who wins, by roughly what factor, and where crossovers fall.  "
         "See DESIGN.md for the substitution inventory.",
         "",
+        "Every experiment fans its independent simulation cells through "
+        "`repro.experiments.parallel`: pass `--jobs N` to `python -m repro "
+        "report` / `experiment` to use N worker processes (results are "
+        "byte-identical to a serial run).  Cell results are memoized by a "
+        "hash of their full spec; set `--cache-dir DIR` or "
+        "`$REPRO_CACHE_DIR` to persist the cache on disk.  Changing any "
+        "cell input changes the hash (stale entries are never served); "
+        "after editing simulator *code*, delete the cache directory to "
+        "invalidate it.",
+        "",
     ]
     for section in sections:
         if echo:

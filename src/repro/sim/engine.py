@@ -6,13 +6,20 @@ instance seeded from the configuration makes every run reproducible.  The
 engine is intentionally independent of the cluster model so that it can be
 unit-tested and reused (the fault injector and the trace replayer both drive
 it directly).
+
+Cancelled events use lazy deletion: :meth:`Event.cancel` only marks the
+entry, and the engine drops it when it reaches the top of the heap.  A live
+counter keeps :meth:`Simulator.pending_events` O(1), and when more than half
+of a large heap is dead the queue is compacted in one pass so replays that
+cancel many recovery events cannot bloat the heap.
 """
 
 from __future__ import annotations
 
 import heapq
-import random
 from typing import Any, Callable, Optional
+
+import random
 
 
 class SimulationError(RuntimeError):
@@ -22,7 +29,7 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.  Cancellable; compares by (time, priority, seq)."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -38,10 +45,17 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning simulator; set by ``schedule_at`` so cancellation can keep
+        #: the live-event counter exact.  ``None`` for free-standing events.
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -58,6 +72,9 @@ PRIORITY_HIGH = 0
 PRIORITY_NORMAL = 10
 PRIORITY_LOW = 20
 
+#: Below this queue size compaction is never worth the rebuild.
+_COMPACT_MIN_QUEUE = 64
+
 
 class Simulator:
     """Deterministic discrete-event simulator."""
@@ -67,6 +84,8 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        #: Not-yet-cancelled events currently in the queue.
+        self._live = 0
         self.rng = random.Random(seed)
         #: Count of events executed; used by scalability experiments to model
         #: controller load.
@@ -103,8 +122,18 @@ class Simulator:
             )
         self._seq += 1
         event = Event(time, priority, self._seq, callback, args)
+        event._sim = self
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _on_cancel(self) -> None:
+        """Account for one cancellation; compact the heap when mostly dead."""
+        self._live -= 1
+        queue = self._queue
+        if len(queue) > _COMPACT_MIN_QUEUE and len(queue) - self._live > self._live:
+            self._queue = [event for event in queue if not event.cancelled]
+            heapq.heapify(self._queue)
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next pending event, or ``None`` if idle."""
@@ -118,6 +147,7 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
             self._now = event.time
             self.events_processed += 1
             event.callback(*event.args)
@@ -135,15 +165,24 @@ class Simulator:
         self._running = True
         try:
             executed = 0
+            # self._queue is re-read every iteration: compaction (triggered
+            # by Event.cancel inside a callback) rebinds it to a fresh list.
             while self._queue:
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+                # Single pop per iteration: the head is inspected in place
+                # (skipping dead entries) instead of the old peek+step pair
+                # that walked the heap top twice per event.
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
                     self._now = until
                     break
-                if not self.step():
-                    break
+                heapq.heappop(self._queue)
+                self._live -= 1
+                self._now = event.time
+                self.events_processed += 1
+                event.callback(*event.args)
                 executed += 1
                 if executed > max_events:
                     raise SimulationError(
@@ -156,5 +195,5 @@ class Simulator:
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live

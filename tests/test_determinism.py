@@ -1,0 +1,87 @@
+"""Determinism guarantees of this reproduction.
+
+Two invariants the performance work must never break:
+
+* The parallel cell harness returns byte-identical experiment rows for
+  any worker count (``--jobs N`` is a wall-clock knob, not a semantic
+  one).
+* The runtime's finish-ledger fast path produces JobMetrics identical to
+  the legacy one-event-per-task kernel, for every policy and with or
+  without injected failures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import bubble_policy, jetscope_policy
+from repro.core.policies import swift_policy
+from repro.experiments import figures
+from repro.experiments.harness import run_jobs
+from repro.experiments.parallel import clear_memory_cache, set_default_jobs
+from repro.sim.failures import sample_trace_failures
+from repro.workloads import traces
+
+
+@pytest.fixture(autouse=True)
+def _clean_harness_state():
+    clear_memory_cache()
+    set_default_jobs(None)
+    yield
+    clear_memory_cache()
+    set_default_jobs(None)
+
+
+def test_serial_and_parallel_harness_rows_identical():
+    """`--jobs 4` must reproduce the serial rows exactly."""
+    serial = figures.fig9a_tpch(queries=(1, 6), scale=0.2)
+    clear_memory_cache()
+    set_default_jobs(4)
+    parallel = figures.fig9a_tpch(queries=(1, 6), scale=0.2)
+    assert parallel.rows == serial.rows
+    assert parallel.to_json() == serial.to_json()
+
+
+def test_parallel_cells_recompute_identically_without_cache():
+    """Same experiment, fresh worker processes: identical payloads (no
+    hidden per-process RNG state leaks into the cells).  Compared via
+    to_json because off-paper sizes report paper_speedup as NaN."""
+    set_default_jobs(2)
+    sizes = ((30, 30), (60, 60))
+    first = figures.table1_terasort(sizes=sizes)
+    clear_memory_cache()
+    second = figures.table1_terasort(sizes=sizes)
+    assert first.to_json() == second.to_json()
+
+
+def _failure_plan(jobs):
+    return sample_trace_failures(
+        [j.job_id for j in jobs], 0.5, random.Random(99)
+    )
+
+
+@pytest.mark.parametrize("make_policy", [swift_policy, jetscope_policy, bubble_policy])
+@pytest.mark.parametrize("with_failures", [False, True])
+def test_fast_path_matches_legacy_kernel(make_policy, with_failures):
+    """The finish-ledger fast path is an optimization, not a model change:
+    JobMetrics (timestamps, phase times, attempts) must match the legacy
+    per-task-event kernel exactly."""
+    jobs = traces.generate_trace(
+        traces.TraceConfig(n_jobs=8, mean_interarrival=0.2)
+    )
+    plan = _failure_plan(jobs) if with_failures else None
+    fast_results, fast_rt = run_jobs(
+        make_policy(), jobs, failure_plan=plan, fast_path=True
+    )
+    legacy_results, legacy_rt = run_jobs(
+        make_policy(), jobs, failure_plan=plan, fast_path=False
+    )
+    assert len(fast_results) == len(legacy_results) == len(jobs)
+    for fast, legacy in zip(fast_results, legacy_results):
+        assert fast.job_id == legacy.job_id
+        assert fast.completed == legacy.completed
+        assert fast.metrics == legacy.metrics
+    assert fast_rt.busy_intervals == legacy_rt.busy_intervals
+    assert fast_rt.admin.stats.__dict__ == legacy_rt.admin.stats.__dict__

@@ -1,0 +1,106 @@
+"""Unit tests for the parallel cell harness (repro.experiments.parallel)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.parallel import (
+    Cell,
+    clear_memory_cache,
+    default_jobs,
+    run_cell,
+    run_cells,
+    set_default_jobs,
+)
+
+#: A trivial picklable cell: ``json.dumps(obj=...)`` returns a string and
+#: exercises the full import-by-name worker path without any simulation.
+def _echo_cell(value):
+    return Cell("json", "dumps", {"obj": value})
+
+
+@pytest.fixture(autouse=True)
+def _clean_harness_state():
+    clear_memory_cache()
+    set_default_jobs(None)
+    yield
+    clear_memory_cache()
+    set_default_jobs(None)
+
+
+def test_cell_key_is_stable_and_spec_sensitive():
+    a = _echo_cell([1, 2])
+    assert a.key() == _echo_cell([1, 2]).key()
+    assert a.key() != _echo_cell([1, 3]).key()
+    assert a.key() != Cell("json", "loads", {"obj": [1, 2]}).key()
+
+
+def test_run_cells_preserves_submission_order():
+    cells = [_echo_cell(i) for i in (3, 1, 2)]
+    assert run_cells(cells) == ["3", "1", "2"]
+
+
+def test_run_cells_parallel_matches_serial():
+    cells = [_echo_cell([i, i + 1]) for i in range(6)]
+    serial = run_cells(cells, jobs=1)
+    clear_memory_cache()
+    assert run_cells(cells, jobs=3) == serial
+
+
+def test_memory_cache_serves_repeat_calls():
+    cell = _echo_cell("cached")
+    assert run_cell(cell) == '"cached"'
+    # A second call must not re-execute: poison the function name and rely
+    # on the cache (a miss would raise AttributeError).
+    poisoned = Cell("json", "dumps", {"obj": "cached"})
+    assert poisoned.key() == cell.key()
+    assert run_cell(poisoned) == '"cached"'
+
+
+def test_disk_cache_round_trip(tmp_path):
+    cell = _echo_cell({"x": 1})
+    first = run_cells([cell], cache_dir=str(tmp_path))[0]
+    entries = list(tmp_path.iterdir())
+    assert len(entries) == 1
+    assert json.load(open(entries[0])) == first
+    # A fresh process would miss the memory cache; simulate by clearing it.
+    clear_memory_cache()
+    assert run_cells([cell], cache_dir=str(tmp_path))[0] == first
+
+
+def test_normalization_makes_fresh_equal_cached(tmp_path):
+    # terasort_cell returns floats; the payload must survive the disk
+    # round-trip bit-for-bit so cached reruns reproduce fresh runs.
+    cell = Cell("repro.experiments.cells", "terasort_cell", {"m": 10, "n": 10})
+    fresh = run_cells([cell], cache_dir=str(tmp_path))[0]
+    clear_memory_cache()
+    cached = run_cells([cell], cache_dir=str(tmp_path))[0]
+    assert cached == fresh
+    assert isinstance(fresh["swift_s"], float)
+
+
+def test_default_jobs_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert default_jobs() == 4
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert default_jobs() == 1
+    set_default_jobs(2)
+    assert default_jobs() == 2
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        set_default_jobs(0)
+    with pytest.raises(ValueError):
+        run_cells([_echo_cell(1)], jobs=0)
+
+
+def test_cache_env_enables_disk_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    run_cell(_echo_cell("via-env"))
+    assert len(list(tmp_path.iterdir())) == 1
