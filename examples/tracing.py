@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Structured tracing walkthrough: record, inspect, aggregate, export.
+
+Runs a Terasort job with an injected task crash through the ``repro.api``
+facade with tracing enabled, then tours the result: the typed record
+stream (spans and instants per category), the failure-detection /
+recovery timeline, the aggregated metrics registry, and the Chrome
+``trace_event`` / JSONL exports (the former loads directly in
+https://ui.perfetto.dev or ``chrome://tracing``).
+"""
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro import RuntimeConfig, Simulation, TraceConfig
+from repro.obs import Category, read_jsonl
+from repro.sim.failures import FailureKind, FailureSpec
+from repro.workloads import terasort
+
+
+def main() -> None:
+    config = RuntimeConfig(
+        n_machines=8, executors_per_machine=8, reference_duration=20.0,
+    )
+    config.failure_plan.add(FailureSpec(
+        kind=FailureKind.TASK_CRASH, stage="map", at_fraction=0.5,
+    ))
+    out_dir = Path(tempfile.mkdtemp(prefix="repro_trace_"))
+    trace = TraceConfig(path=str(out_dir / "terasort"), format="both")
+
+    print("Running a 20x20 Terasort with one injected task crash...\n")
+    outcome = Simulation(config).run(terasort.terasort_job(20, 20), trace=trace)
+
+    print(f"completed={outcome.completed}  makespan={outcome.makespan:.2f}s  "
+          f"records={len(outcome.trace)}\n")
+
+    print("Records per category:")
+    for cat, count in sorted(Counter(r.cat for r in outcome.trace).items()):
+        print(f"  {cat:<10} {count}")
+
+    print("\nFailure/recovery timeline:")
+    for record in outcome.trace:
+        if record.cat in (Category.FAILURE, Category.RECOVERY):
+            detail = ", ".join(f"{k}={v}" for k, v in record.args.items())
+            print(f"  t={record.ts:7.3f}s  {record.name:<18} {detail}")
+
+    metrics = outcome.metrics.to_dict()
+    print("\nAggregated metrics (selection):")
+    for name in ("tasks_finished", "task_reruns", "failures_observed"):
+        print(f"  {name:<20} {metrics['counters'].get(name, 0):.0f}")
+    idle = outcome.metrics.histogram("task_idle_ratio")
+    print(f"  mean IdleRatio       {100 * idle.mean:.1f}%")
+
+    print("\nExports:")
+    for path in outcome.trace_files:
+        print(f"  {path}")
+    reloaded = read_jsonl(outcome.trace_files[-1])
+    assert reloaded == outcome.trace
+    print(f"\nJSONL round trip OK ({len(reloaded)} records); load the .json "
+          "file in https://ui.perfetto.dev to browse the timeline.")
+
+
+if __name__ == "__main__":
+    main()

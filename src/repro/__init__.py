@@ -1,20 +1,24 @@
 """repro — a reproduction of *Swift: Reliable and Low-Latency Data
 Processing at Cloud Scale* (ICDE 2021).
 
-Public API quick tour::
+The stable entry point is the :mod:`repro.api` facade (re-exported here)::
 
-    from repro import (
-        Cluster, SimConfig, swift_policy, SwiftRuntime, Job,
-    )
+    from repro import RuntimeConfig, Simulation
     from repro.workloads import tpch
 
-    cluster = Cluster.build(n_machines=100, executors_per_machine=32)
-    runtime = SwiftRuntime(cluster, swift_policy())
-    result = runtime.execute(Job(dag=tpch.query_dag(9)))
-    print(result.metrics.run_time)
+    sim = Simulation(RuntimeConfig(n_machines=100, executors_per_machine=32))
+    outcome = sim.run(tpch.query_job(9), trace=True)
+    print(outcome.makespan, len(outcome.trace))
+
+Lower-level classes (``SwiftRuntime``, ``Cluster``, ``Simulator``) stay
+importable for advanced use.
 
 Sub-packages:
 
+* :mod:`repro.api` — the stable facade: ``Simulation``, ``Runtime``,
+  ``RuntimeConfig``, ``TraceConfig``, typed results.
+* :mod:`repro.obs` — structured tracing and metrics export (JSONL and
+  Chrome ``trace_event`` / Perfetto).
 * :mod:`repro.sim` — discrete-event cluster simulator (the substrate).
 * :mod:`repro.core` — the paper's contribution: graphlet partitioning,
   fine-grained scheduling, adaptive in-network shuffle, failure recovery.
@@ -25,6 +29,13 @@ Sub-packages:
 * :mod:`repro.experiments` — harnesses regenerating every table/figure.
 """
 
+from .api import (
+    Runtime,
+    RuntimeConfig,
+    Simulation,
+    SimulationResult,
+    TraceConfig,
+)
 from .core import (
     Edge,
     EdgeMode,
@@ -43,6 +54,12 @@ from .core import (
     SwiftPartitioner,
     SwiftRuntime,
     swift_policy,
+)
+from .obs import (
+    MetricsRegistry,
+    RecordingTracer,
+    TraceRecord,
+    Tracer,
 )
 from .sim import (
     Cluster,
@@ -69,15 +86,24 @@ __all__ = [
     "JobMetrics",
     "JobResult",
     "LaunchModel",
+    "MetricsRegistry",
     "Operator",
     "OperatorKind",
+    "RecordingTracer",
+    "Runtime",
+    "RuntimeConfig",
     "ShuffleScheme",
     "SimConfig",
+    "Simulation",
+    "SimulationResult",
     "Simulator",
     "Stage",
     "SubmissionOrder",
     "SwiftPartitioner",
     "SwiftRuntime",
+    "TraceConfig",
+    "TraceRecord",
+    "Tracer",
     "swift_policy",
     "__version__",
 ]

@@ -1,0 +1,71 @@
+"""repro.api — the stable public facade.
+
+This package is the documented entry point to the reproduction: build a
+:class:`RuntimeConfig`, hand jobs to :class:`Simulation` (one-shot runs) or
+:class:`Runtime` (incremental submit/run), and read typed
+:class:`SimulationResult` objects back — optionally with a structured trace
+(:class:`TraceConfig`) exported for Perfetto or JSONL consumers.
+
+Deep imports (``repro.core``, ``repro.sim``, ...) keep working, but new
+code and the docs use this facade::
+
+    from repro.api import RuntimeConfig, Simulation, TraceConfig
+    from repro.workloads import terasort
+
+    sim = Simulation(RuntimeConfig(n_machines=20, executors_per_machine=16))
+    outcome = sim.run(terasort.terasort_job(50, 50), trace=True)
+    print(outcome.makespan, len(outcome.trace))
+"""
+
+from ..core.dag import Edge, EdgeMode, Job, JobDAG, Stage
+from ..core.metrics import JobMetrics, PhaseBreakdown, TaskTiming
+from ..core.policies import (
+    ExecutionPolicy,
+    FailureRecovery,
+    LaunchModel,
+    SubmissionOrder,
+    swift_policy,
+)
+from ..core.runtime import JobResult
+from ..core.shuffle import ShuffleScheme
+from ..obs import (
+    MetricsRegistry,
+    RecordingTracer,
+    TraceRecord,
+    Tracer,
+)
+from ..sim.config import SimConfig
+from ..sim.failures import FailureKind, FailurePlan, FailureSpec
+from .config import RuntimeConfig
+from .simulation import Simulation, SimulationResult, TraceConfig, Runtime
+
+__all__ = [
+    "Edge",
+    "EdgeMode",
+    "ExecutionPolicy",
+    "FailureKind",
+    "FailurePlan",
+    "FailureRecovery",
+    "FailureSpec",
+    "Job",
+    "JobDAG",
+    "JobMetrics",
+    "JobResult",
+    "LaunchModel",
+    "MetricsRegistry",
+    "PhaseBreakdown",
+    "RecordingTracer",
+    "Runtime",
+    "RuntimeConfig",
+    "ShuffleScheme",
+    "SimConfig",
+    "Simulation",
+    "SimulationResult",
+    "Stage",
+    "SubmissionOrder",
+    "TaskTiming",
+    "TraceConfig",
+    "TraceRecord",
+    "Tracer",
+    "swift_policy",
+]

@@ -6,16 +6,25 @@ Commands
     List the available experiment runners.
 ``experiment <key> [...] [--jobs N]``
     Run one or more experiments by key and print their tables.
-``report [--quick] [--output PATH] [--jobs N]``
+``report [--quick] [--out PATH] [--jobs N]``
     Run everything and write the EXPERIMENTS.md document.
-``bench [--quick] [--output PATH]``
+``bench [--quick] [--out PATH]``
     Benchmark the simulator substrate and write BENCH_simulator.json.
 ``sql [--query TEXT | --file PATH] [--scale N] [--execute]``
     Compile a Swift-language query to a job DAG, show the plan and the
     graphlet partitioning, simulate it, and optionally execute it row-level
     on a generated mini TPC-H database (``--execute``).
-``replay [--jobs N]``
+``replay [--n-jobs N]``
     Replay a trace against Swift, Bubble Execution, and JetScope.
+``trace <experiment> [--out PATH] [--format chrome|jsonl|both]``
+    Run one experiment's workload with structured tracing enabled and
+    export the records (Chrome ``trace_event`` JSON loads directly in
+    Perfetto / ``chrome://tracing``).
+
+Flag conventions: ``--out`` names the output file, ``--jobs`` fans cells
+across worker processes, ``--cache-dir`` caches cell results.  The old
+spellings (``--output``; replay's job-count ``--jobs``) still parse but
+print a deprecation warning.
 """
 
 from __future__ import annotations
@@ -77,6 +86,36 @@ def _worker_count(text: str) -> int:
     return value
 
 
+class _DeprecatedAlias(argparse.Action):
+    """Accept an old flag spelling: store to the canonical dest, warn once."""
+
+    def __init__(self, *args, replacement: str = "", **kwargs) -> None:
+        self.replacement = replacement
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None) -> None:
+        print(
+            f"warning: {option_string} is deprecated, use {self.replacement}",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def _add_output_option(
+    parser: argparse.ArgumentParser, default: str | None = None, what: str = "a file"
+) -> None:
+    """The shared ``--out`` option (with the deprecated ``--output`` alias)."""
+    parser.add_argument(
+        "--out", default=default, metavar="PATH",
+        help=f"write to {what}" + (f" (default {default})" if default else
+                                   " instead of stdout"),
+    )
+    parser.add_argument(
+        "--output", dest="out", metavar="PATH", action=_DeprecatedAlias,
+        replacement="--out", help=argparse.SUPPRESS,
+    )
+
+
 def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=_worker_count, default=None, dest="jobs_workers", metavar="N",
@@ -129,10 +168,10 @@ def _maybe_plot(result) -> None:
 def _cmd_report(args: argparse.Namespace) -> int:
     _apply_parallel_options(args)
     text = reporting.build_report(quick=args.quick, echo=lambda m: print(m, file=sys.stderr))
-    if args.output:
-        with open(args.output, "w") as handle:
+    if args.out:
+        with open(args.out, "w") as handle:
             handle.write(text)
-        print(f"wrote {args.output}", file=sys.stderr)
+        print(f"wrote {args.out}", file=sys.stderr)
     else:
         print(text)
     return 0
@@ -186,8 +225,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from .baselines import bubble_policy, jetscope_policy
     from .workloads import TraceConfig, generate_trace
 
-    jobs = generate_trace(TraceConfig(n_jobs=args.jobs, mean_interarrival=0.08))
-    print(f"replaying {args.jobs} jobs "
+    jobs = generate_trace(TraceConfig(n_jobs=args.n_jobs, mean_interarrival=0.08))
+    print(f"replaying {args.n_jobs} jobs "
           f"({sum(j.dag.total_tasks() for j in jobs)} tasks) on 100 nodes")
     spans = {}
     for policy in (swift_policy(), bubble_policy(), jetscope_policy()):
@@ -205,7 +244,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import bench
 
     payload = bench.write_bench_file(
-        path=args.output, quick=args.quick,
+        path=args.out, quick=args.quick,
         echo=lambda m: print(m, file=sys.stderr),
     )
     terasort = payload["terasort"]
@@ -213,11 +252,74 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"cancel-heavy: {payload['cancel_heavy']['events_per_s']:,.0f} events/s")
     print(f"terasort: legacy {terasort['baseline_ms']:.1f}ms -> "
           f"fast {terasort['fast_ms']:.1f}ms ({terasort['speedup']:.2f}x)")
+    tracing = payload["tracing"]
+    print(f"tracing: disabled {tracing['disabled_ms']:.1f}ms -> "
+          f"recording {tracing['recording_ms']:.1f}ms "
+          f"({tracing['recording_overhead_pct']:+.1f}%)")
     replay = payload["parallel_replay"]
     print(f"parallel replay: serial {replay['serial_s']:.2f}s -> "
           f"{replay['workers']} workers {replay['parallel_s']:.2f}s "
           f"({replay['speedup']:.2f}x)")
-    print(f"wrote {args.output}", file=sys.stderr)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _trace_registry() -> dict[str, tuple[str, Callable[[], list]]]:
+    """Traceable experiment workloads by key (values: description, jobs)."""
+    from .workloads import TraceConfig, generate_trace, terasort, tpch, traces
+
+    return {
+        "fig3": ("profile-1 trace sample (Fig. 3 workload)",
+                 lambda: traces.cluster_profile_jobs(1, n_jobs=20)),
+        "fig9a": ("TPC-H Q1 (Fig. 9(a))", lambda: [tpch.query_job(1)]),
+        "fig9b": ("TPC-H Q9 (Fig. 9(b) phase breakdown)",
+                  lambda: [tpch.query_job(9)]),
+        "fig13": ("TPC-H Q13 (Fig. 13 details)", lambda: [tpch.query_job(13)]),
+        "table1": ("100x100 Terasort (Table 1)",
+                   lambda: [terasort.terasort_job(100, 100)]),
+        "replay": ("25-job trace replay (Fig. 10 workload, reduced)",
+                   lambda: generate_trace(
+                       TraceConfig(n_jobs=25, mean_interarrival=0.08))),
+    }
+
+
+def _normalize_trace_key(key: str) -> str:
+    """Canonicalize experiment spellings: ``fig03`` -> ``fig3``."""
+    import re
+
+    key = key.lower()
+    match = re.fullmatch(r"fig0*(\d+[a-z]?)", key)
+    if match:
+        return f"fig{match.group(1)}"
+    if key == "terasort":
+        return "table1"
+    return key
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .api import Simulation, TraceConfig
+
+    registry = _trace_registry()
+    key = _normalize_trace_key(args.experiment)
+    if key not in registry:
+        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    description, jobs_factory = registry[key]
+    jobs = jobs_factory()
+    config = TraceConfig(
+        path=args.out or f"trace_{key}",
+        format=args.format,
+        engine_events=args.engine_events,
+    )
+    print(f"tracing {key}: {description} "
+          f"({len(jobs)} job(s), {sum(j.dag.total_tasks() for j in jobs)} tasks)",
+          file=sys.stderr)
+    outcome = Simulation().run(jobs, trace=config)
+    print(f"{len(outcome.trace)} records, makespan {outcome.makespan:.1f}s, "
+          f"{'all jobs completed' if outcome.completed else 'some jobs failed'}")
+    for path in outcome.trace_files:
+        print(f"wrote {path}")
     return 0
 
 
@@ -242,15 +344,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_rep.add_argument("--quick", action="store_true", help="reduced workload sizes")
-    p_rep.add_argument("--output", help="write to a file instead of stdout")
+    _add_output_option(p_rep, what="a file")
     _add_parallel_options(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
     p_bench = sub.add_parser("bench", help="benchmark the simulator substrate")
     p_bench.add_argument("--quick", action="store_true", help="smaller scenarios")
-    p_bench.add_argument("--output", default="BENCH_simulator.json",
-                        help="where to write the JSON document")
+    _add_output_option(p_bench, default="BENCH_simulator.json",
+                       what="the JSON document")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one experiment workload with tracing enabled"
+    )
+    p_trace.add_argument("experiment",
+                         help="what to trace (see the `trace` docs; e.g. fig3)")
+    p_trace.add_argument("--format", choices=("chrome", "jsonl", "both"),
+                         default="chrome",
+                         help="export format (chrome loads in Perfetto)")
+    p_trace.add_argument("--engine-events", action="store_true",
+                         help="also record every simulator-engine event")
+    _add_output_option(p_trace, what="this base name (suffix added per format)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_sql = sub.add_parser("sql", help="compile/run a Swift-language query")
     p_sql.add_argument("--query", help="query text (default: the paper's Fig. 1)")
@@ -263,7 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sql.set_defaults(func=_cmd_sql)
 
     p_replay = sub.add_parser("replay", help="trace replay vs baselines")
-    p_replay.add_argument("--jobs", type=int, default=250)
+    p_replay.add_argument("--n-jobs", type=int, default=250, dest="n_jobs",
+                          help="number of trace jobs to replay")
+    p_replay.add_argument("--jobs", type=int, dest="n_jobs", metavar="N",
+                          action=_DeprecatedAlias, replacement="--n-jobs",
+                          help=argparse.SUPPRESS)
     p_replay.set_defaults(func=_cmd_replay)
     return parser
 

@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.records import Category
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..sim.cluster import Cluster, Executor, ExecutorState
 from ..sim.config import SimConfig
 from ..sim.engine import Simulator
@@ -214,13 +216,17 @@ class SwiftRuntime:
         reference_duration: "float | dict[str, float]" = 100.0,
         shadow: Optional[ShadowController] = None,
         fast_path: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
+        #: Structured tracing hook (repro.obs); the null tracer keeps every
+        #: emission site on a single pre-hoisted boolean check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Admin failover windows (Section II-B's shadow controller).
         self.shadow = shadow or ShadowController()
         self.config = config or cluster.config
-        self.sim = Simulator(seed=self.config.seed)
+        self.sim = Simulator(seed=self.config.seed, tracer=self.tracer)
         self.admin = SwiftAdmin(self.config.admin, cluster.n_machines)
         self.scheduler = ResourceScheduler(cluster)
         self.shuffle_model = ShuffleCostModel(self.config, cluster.network, cluster.disk)
@@ -318,6 +324,15 @@ class SwiftRuntime:
             job.job_id,
             f"{len(graphlets)} graphlets",
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                Category.JOB,
+                "job.restarted" if attempt else "job.submitted",
+                self.sim.now,
+                job.job_id,
+                graphlets=len(graphlets),
+                attempt=attempt,
+            )
         if attempt == 0:
             metrics = JobMetrics(job_id=job.job_id, submit_time=self.sim.now)
             self.job_runs[job.job_id] = JobRun(job, graphlets, metrics, attempt)
@@ -402,6 +417,12 @@ class SwiftRuntime:
                 self.sim.now, EventKind.UNIT_REQUESTED, job_run.job.job_id,
                 f"unit {unit.graphlet_id} ({n} executors)",
             )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.UNIT, "unit.requested", self.sim.now,
+                    job_run.job.job_id, scope=f"unit{unit.graphlet_id}",
+                    executors=n,
+                )
         self._pump_scheduler()
 
     def _pump_scheduler(self) -> None:
@@ -427,6 +448,12 @@ class SwiftRuntime:
             self.sim.now, EventKind.UNIT_GRANTED, job_run.job.job_id,
             f"unit {unit.graphlet_id} ({len(grant.executors)} executors)",
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                Category.UNIT, "unit.granted", self.sim.now,
+                job_run.job.job_id, scope=f"unit{unit.graphlet_id}",
+                executors=len(grant.executors),
+            )
         if self.policy.submission == SubmissionOrder.EAGER:
             # Downstream bubbles become submittable once this one runs.
             self._try_submit_units(job_run)
@@ -594,7 +621,17 @@ class SwiftRuntime:
             )
             read_cost += cost.read_per_task
             total_conns += cost.connections
-            job_run.metrics.shuffle_schemes[f"{edge.src}->{edge.dst}"] = cost.scheme.value
+            edge_key = f"{edge.src}->{edge.dst}"
+            job_run.metrics.shuffle_schemes[edge_key] = cost.scheme.value
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.SHUFFLE, "shuffle.scheme", self.sim.now,
+                    job_run.job.job_id, scope=edge_key,
+                    scheme=cost.scheme.value, size=m * n,
+                    bytes=dag.edge_bytes(edge), cross_unit=cross,
+                    connections=cost.connections,
+                )
+                self.tracer.count(f"shuffle_edges_{cost.scheme.value}")
             if self._edge_streams(job_run, edge, sr):
                 pipeline_floor = max(pipeline_floor, producer_sr.finish_estimate)
                 pipeline_first = max(pipeline_first, producer_sr.first_output)
@@ -839,6 +876,8 @@ class SwiftRuntime:
         heappop = heapq.heappop
         busy_append = self.busy_intervals.append
         make_timing = TaskTiming
+        trace_on = self.tracer.enabled
+        trace_task = self._trace_task_span
         cluster = self.cluster
         idle = ExecutorState.IDLE
         revoked = ExecutorState.REVOKED
@@ -901,6 +940,12 @@ class SwiftRuntime:
                     )
                 )
                 busy_append((plan_arrive, finish))
+                if trace_on:
+                    trace_task(
+                        sr, inst.index, inst.attempt, plan_arrive,
+                        data_arrive, finish,
+                        inst.launch, inst.read, inst.proc, inst.write,
+                    )
                 executor = inst.executor
                 if executor is not None:
                     executor.current_task = None
@@ -965,9 +1010,48 @@ class SwiftRuntime:
         )
         metrics.tasks.append(timing)
         self.busy_intervals.append((inst.plan_arrive, inst.finish_time))
+        if self.tracer.enabled:
+            self._trace_task_span(
+                sr, inst.index, inst.attempt, inst.plan_arrive,
+                inst.data_arrive, inst.finish_time,
+                inst.launch, inst.read, inst.proc, inst.write,
+            )
         if inst.executor is not None:
             inst.executor.release()
             inst.executor = None
+
+    def _trace_task_span(
+        self,
+        sr: StageRun,
+        index: int,
+        attempt: int,
+        plan_arrive: float,
+        data_arrive: float,
+        finish: float,
+        launch: float,
+        read: float,
+        proc: float,
+        write: float,
+    ) -> None:
+        """Emit the span record of one finished task attempt."""
+        idle = min(data_arrive, finish) - plan_arrive
+        self.tracer.span(
+            Category.TASK,
+            f"{sr.name}[{index}]",
+            plan_arrive,
+            finish - plan_arrive,
+            sr.job_run.job.job_id,
+            scope=sr.name,
+            # ts + dur can round away from the exact finish time; consumers
+            # that need the precise interval (task_intervals) read this.
+            finish=finish,
+            attempt=attempt,
+            idle=idle if idle > 0 else 0.0,
+            launch=launch,
+            read=read,
+            proc=proc,
+            write=write,
+        )
 
     def _on_stage_completed(self, sr: StageRun) -> None:
         sr.completed = True
@@ -978,6 +1062,17 @@ class SwiftRuntime:
         self.events.record(
             self.sim.now, EventKind.STAGE_COMPLETED, job_run.job.job_id, sr.name
         )
+        if self.tracer.enabled:
+            start = min(
+                (inst.plan_arrive for inst in sr.instances),
+                default=self.sim.now,
+            )
+            self.tracer.span(
+                Category.STAGE, sr.name, start, self.sim.now - start,
+                job_run.job.job_id,
+                scope=f"unit{job_run.units[sr.unit_id].graphlet_id}",
+                tasks=len(sr.instances),
+            )
         if sr.registered_connections:
             self.cluster.network.release_connections(sr.registered_connections)
             sr.registered_connections = 0
@@ -999,6 +1094,11 @@ class SwiftRuntime:
                 self.sim.now, EventKind.UNIT_COMPLETED, job_run.job.job_id,
                 f"unit {unit.graphlet_id}",
             )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.UNIT, "unit.completed", self.sim.now,
+                    job_run.job.job_id, scope=f"unit{unit.graphlet_id}",
+                )
             if all(u.state == UnitState.DONE for u in job_run.units.values()):
                 self._on_job_completed(job_run)
 
@@ -1043,6 +1143,24 @@ class SwiftRuntime:
                 )
             if spill_delay > 0:
                 self._edge_extra_delay[(job_id, key)] = spill_delay
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.CACHE, "cache.store", self.sim.now, job_id,
+                    scope=key, bytes=dag.edge_bytes(edge),
+                    machines=len(machines), spill_delay=spill_delay,
+                )
+                if spill_delay > 0:
+                    self.tracer.instant(
+                        Category.CACHE, "cache.spill", self.sim.now, job_id,
+                        scope=key, delay=spill_delay,
+                    )
+                    self.tracer.count("cache_spill_edges")
+                for machine in machines:
+                    worker = machine.cache_worker
+                    if worker is not None:
+                        self.tracer.gauge_max(
+                            "cache_worker_mem_used_bytes", worker.memory_used
+                        )
 
     def _consume_cross_unit_inputs(self, sr: StageRun) -> None:
         """Release Cache Worker entries this stage has fully consumed."""
@@ -1069,6 +1187,16 @@ class SwiftRuntime:
         self.events.record(
             self.sim.now, EventKind.JOB_COMPLETED, job_run.job.job_id
         )
+        if self.tracer.enabled:
+            metrics = job_run.metrics
+            self.tracer.span(
+                Category.JOB, job_run.job.job_id, metrics.submit_time,
+                metrics.latency, job_run.job.job_id,
+                attempts=job_run.attempt + 1,
+                failures=metrics.failures,
+                restarts=metrics.restarts,
+            )
+            self.tracer.collect_job_metrics(metrics)
         self._release_cache_workers(job_run.job.job_id)
         self.results.append(
             JobResult(
@@ -1094,6 +1222,24 @@ class SwiftRuntime:
             self.sim.now, EventKind.FAILURE_INJECTED, job_id,
             f"{spec.kind.value} stage={spec.stage or '-'}",
         )
+        if self.tracer.enabled:
+            # Detection by missed heartbeats for crashes, by the executor's
+            # own re-registration for process restarts (Section IV-A).
+            method = (
+                "heartbeat"
+                if spec.kind == FailureKind.MACHINE_CRASH
+                else "self_report"
+            )
+            self.tracer.instant(
+                Category.FAILURE, "failure.injected", self.sim.now, job_id,
+                scope=spec.stage or "", kind=spec.kind.value,
+            )
+            self.tracer.instant(
+                Category.FAILURE, "failure.detected", detect_t, job_id,
+                scope=spec.stage or "", kind=spec.kind.value,
+                method=method, delay=delay,
+            )
+            self.tracer.count("failures_injected")
 
         if spec.kind == FailureKind.APPLICATION_ERROR:
             # Useless recovery: report to the Job Monitor, fail the job.
@@ -1188,6 +1334,11 @@ class SwiftRuntime:
             return
         job_run.failed = True
         self.events.record(self.sim.now, EventKind.JOB_FAILED, job_run.job.job_id)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                Category.JOB, "job.failed", self.sim.now, job_run.job.job_id,
+                attempt=job_run.attempt,
+            )
         self._release_job_resources(job_run)
         job_run.metrics.finish_time = self.sim.now
         self.results.append(
@@ -1212,6 +1363,7 @@ class SwiftRuntime:
 
     def _release_job_resources(self, job_run: JobRun) -> None:
         self.scheduler.cancel_job(job_run.job.job_id)
+        trace_on = self.tracer.enabled
         for sr in job_run.stage_runs.values():
             if sr.registered_connections:
                 self.cluster.network.release_connections(sr.registered_connections)
@@ -1219,6 +1371,18 @@ class SwiftRuntime:
             for inst in sr.instances:
                 if inst.state == TaskState.DISPATCHED:
                     self.busy_intervals.append((inst.plan_arrive, self.sim.now))
+                    if trace_on:
+                        self.tracer.span(
+                            Category.TASK,
+                            f"{sr.name}[{inst.index}].aborted",
+                            inst.plan_arrive,
+                            self.sim.now - inst.plan_arrive,
+                            job_run.job.job_id,
+                            scope=sr.name,
+                            finish=self.sim.now,
+                            attempt=inst.attempt,
+                            aborted=True,
+                        )
                 if inst.executor is not None:
                     inst.executor.release()
                     inst.executor = None
@@ -1231,6 +1395,12 @@ class SwiftRuntime:
             return
         job_run.aborted = True
         job_run.metrics.restarts += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                Category.RECOVERY, "recovery.job_restart", self.sim.now,
+                job_run.job.job_id, attempt=job_run.attempt + 1,
+            )
+            self.tracer.count("job_restarts_executed")
         self.admin.drop_job_plans(job_run.job.job_id)
         self._release_job_resources(job_run)
         self._on_job_submitted(job_run.job, job_run.attempt + 1)
@@ -1267,6 +1437,12 @@ class SwiftRuntime:
                 self.sim.now, EventKind.TASK_RECOVERED, job_run.job.job_id,
                 f"{sr.name}[{inst.index}] noop ({decision.case.value})",
             )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.RECOVERY, "recovery.noop", self.sim.now,
+                    job_run.job.job_id, scope=sr.name,
+                    task=inst.index, case=decision.case.value,
+                )
             return
         resend_delay = 0.0
         for pred_name in decision.resend_from:
@@ -1280,6 +1456,15 @@ class SwiftRuntime:
             self.sim.now, EventKind.TASK_RECOVERED, job_run.job.job_id,
             f"{sr.name}[{inst.index}] rerun ({decision.case.value})",
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                Category.RECOVERY, "recovery.rerun", self.sim.now,
+                job_run.job.job_id, scope=sr.name,
+                task=inst.index, case=decision.case.value,
+                resend_delay=resend_delay,
+                rerun_stages=len(decision.rerun_stages),
+            )
+            self.tracer.count("task_reruns_executed")
         # Non-idempotent case: executed same-unit successors re-run too,
         # each gated on the upstream re-run finishing.
         for stage_name in decision.rerun_stages:

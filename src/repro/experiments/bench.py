@@ -15,6 +15,9 @@ against the legacy kernel measured in the same file:
   the wall-clock differs.
 * **parallel_replay** — wall-clock of a three-system trace replay,
   serial vs fanned across worker processes.
+* **tracing** — Terasort simulation rate with the tracer disabled (the
+  null-tracer hook threaded through the hot paths) vs recording every
+  span; the disabled overhead is the guarded <2% regression budget.
 
 All timings are min-of-rounds ``perf_counter`` measurements; min (not
 mean) is the standard way to suppress scheduler noise on shared machines.
@@ -29,6 +32,7 @@ from typing import Callable, Optional
 
 from ..core.policies import swift_policy
 from ..core.runtime import SwiftRuntime
+from ..obs.tracer import RecordingTracer, Tracer
 from ..sim.cluster import Cluster
 from ..sim.engine import Simulator
 from ..workloads import terasort
@@ -140,6 +144,34 @@ def bench_terasort(m: int = 100, n: int = 100, rounds: int = 5) -> dict[str, flo
     }
 
 
+def _run_traced_terasort(m: int, n: int, tracer: Optional[Tracer]) -> int:
+    """One fast-path Terasort run with ``tracer`` threaded through."""
+    runtime = SwiftRuntime(
+        Cluster.build(20, 16), swift_policy(), fast_path=True, tracer=tracer
+    )
+    runtime.submit(terasort.terasort_job(m, n))
+    results = runtime.run()
+    return len(results[0].metrics.tasks)
+
+
+def bench_tracing(m: int = 100, n: int = 100, rounds: int = 5) -> dict[str, float]:
+    """Tracer-disabled vs recording simulation rate on Terasort."""
+    off_s, tasks = _min_time(lambda: _run_traced_terasort(m, n, None), rounds)
+    on_s, on_tasks = _min_time(
+        lambda: _run_traced_terasort(m, n, RecordingTracer()), rounds
+    )
+    assert tasks == on_tasks
+    return {
+        "job": f"terasort_{m}x{n}",
+        "tasks": tasks,
+        "disabled_ms": 1e3 * off_s,
+        "recording_ms": 1e3 * on_s,
+        "disabled_tasks_per_s": tasks / off_s,
+        "recording_tasks_per_s": tasks / on_s,
+        "recording_overhead_pct": 100.0 * (on_s / off_s - 1.0),
+    }
+
+
 def bench_parallel_replay(
     n_jobs: int = 120, workers: int = 3, rounds: int = 1
 ) -> dict[str, float]:
@@ -201,6 +233,8 @@ def run_benchmarks(
     payload["cancel_heavy"] = bench_cancel_heavy(n_events=n_events, rounds=min(rounds, 3))
     say("terasort fast path vs legacy kernel ...")
     payload["terasort"] = bench_terasort(rounds=rounds)
+    say("tracing disabled vs recording ...")
+    payload["tracing"] = bench_tracing(rounds=rounds)
     say("parallel replay harness ...")
     payload["parallel_replay"] = bench_parallel_replay(
         n_jobs=60 if quick else 120

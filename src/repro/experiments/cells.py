@@ -28,6 +28,7 @@ from ..core.partition import (
 )
 from ..core.policies import ExecutionPolicy, SubmissionOrder, swift_policy
 from ..core.shuffle import ShuffleScheme
+from ..obs.tracer import RecordingTracer
 from ..sim.config import SimConfig
 from ..sim.failures import FailureKind, FailurePlan, FailureSpec, sample_trace_failures
 from ..workloads import terasort, tpch, traces
@@ -131,15 +132,21 @@ def trace_replay_cell(
     policy: str, n_jobs: int, mean_interarrival: float
 ) -> dict[str, object]:
     """Full trace replay under one system: makespan, per-job latencies,
-    and the executor busy intervals that feed Fig. 10's time series."""
+    and the executor busy intervals that feed Fig. 10's time series.
+
+    The busy intervals come from the run's trace records (task-attempt
+    spans) rather than from private runtime state; the determinism tests
+    pin the two representations equal.
+    """
     jobs = traces.generate_trace(
         traces.TraceConfig(n_jobs=n_jobs, mean_interarrival=mean_interarrival)
     )
-    results, runtime = run_jobs(_policy(policy), jobs)
+    tracer = RecordingTracer()
+    results, _ = run_jobs(_policy(policy), jobs, tracer=tracer)
     return {
         "makespan": makespan(results),
         "latencies": {r.job_id: r.metrics.latency for r in results},
-        "busy_intervals": [list(interval) for interval in runtime.busy_intervals],
+        "busy_intervals": [list(interval) for interval in tracer.task_intervals()],
     }
 
 

@@ -9,6 +9,7 @@ from typing import Optional, Sequence
 from ..core.dag import Job
 from ..core.policies import ExecutionPolicy
 from ..core.runtime import JobResult, SwiftRuntime
+from ..obs.tracer import Tracer
 from ..sim.cluster import Cluster
 from ..sim.config import SimConfig
 from ..sim.failures import FailurePlan
@@ -95,13 +96,15 @@ def run_jobs(
     failure_plan: Optional[FailurePlan] = None,
     reference_duration: float = 100.0,
     fast_path: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> tuple[list[JobResult], SwiftRuntime]:
     """Execute ``jobs`` under ``policy`` on a fresh cluster.
 
     Returns the per-job results and the runtime (for utilization series,
     admin stats, and other cross-job introspection).  ``fast_path=False``
     forces the legacy one-event-per-task kernel (results are identical; see
-    the determinism tests).
+    the determinism tests).  ``tracer`` threads an observability hook
+    through the run (see :mod:`repro.obs`).
     """
     cluster = build_cluster(n_machines, executors_per_machine, config)
     runtime = SwiftRuntime(
@@ -111,6 +114,7 @@ def run_jobs(
         failure_plan=failure_plan,
         reference_duration=reference_duration,
         fast_path=fast_path,
+        tracer=tracer,
     )
     runtime.submit_all(list(jobs))
     results = runtime.run()
@@ -126,6 +130,7 @@ def run_single(
     failure_plan: Optional[FailurePlan] = None,
     reference_duration: float = 100.0,
     fast_path: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> JobResult:
     """Execute one job on a fresh cluster and return its result."""
     results, _ = run_jobs(
@@ -137,6 +142,7 @@ def run_single(
         failure_plan,
         reference_duration,
         fast_path,
+        tracer,
     )
     if not results:
         raise RuntimeError(f"job {job.job_id} produced no result")

@@ -193,6 +193,13 @@ def build_report(quick: bool = False, echo: Callable[[str], None] | None = None)
         "after editing simulator *code*, delete the cache directory to "
         "invalidate it.",
         "",
+        "Figures that consume per-task data (e.g. Fig. 10's executor "
+        "time series) read the run's structured trace records rather than "
+        "private runtime state: any figure can be regenerated from an "
+        "exported trace (`python -m repro trace <experiment> --format "
+        "jsonl`, then `repro.obs.read_jsonl`).  See README's "
+        "Observability section.",
+        "",
     ]
     for section in sections:
         if echo:

@@ -1,0 +1,58 @@
+"""repro.obs — structured tracing and metrics export.
+
+Typed span/instant records (:mod:`~repro.obs.records`), a
+zero-overhead-when-disabled :class:`~repro.obs.tracer.Tracer` hook threaded
+through the simulator and runtime, exporters for JSON-lines and Chrome
+``trace_event`` format (:mod:`~repro.obs.exporters`), and a metrics
+registry (:mod:`~repro.obs.metrics`).
+
+Most users reach this through the :mod:`repro.api` facade::
+
+    from repro.api import Simulation, TraceConfig
+
+    outcome = Simulation().run(jobs, trace=TraceConfig(path="run"))
+"""
+
+from .exporters import (
+    read_jsonl,
+    records_to_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    DURATION_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_job,
+    collect_jobs,
+)
+from .records import SCHEMA_VERSION, Category, RecordKind, TraceRecord, meta_record
+from .tracer import NULL_TRACER, RecordingTracer, Tracer
+
+__all__ = [
+    "Category",
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RATIO_BUCKETS",
+    "RecordKind",
+    "RecordingTracer",
+    "SCHEMA_VERSION",
+    "TraceRecord",
+    "Tracer",
+    "collect_job",
+    "collect_jobs",
+    "meta_record",
+    "read_jsonl",
+    "records_to_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

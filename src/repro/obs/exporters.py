@@ -1,0 +1,124 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+The JSONL export is the stable machine-readable form (one record per line,
+schema pinned by the golden-fixture test).  The Chrome export produces a
+``traceEvents`` document loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: jobs map to processes, stages/lanes to threads, task
+attempts to complete ("X") slices, and everything else to instants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from .records import SCHEMA_VERSION, RecordKind, TraceRecord, meta_record
+
+#: Simulated seconds -> trace microseconds (the unit Chrome expects).
+_US = 1e6
+
+
+def records_to_jsonl(records: Iterable[TraceRecord]) -> str:
+    """Serialize records (with a meta header line) as JSON-lines text."""
+    lines = [json.dumps(meta_record().to_dict(), separators=(", ", ": "))]
+    lines.extend(
+        json.dumps(record.to_dict(), separators=(", ", ": "))
+        for record in records
+        if record.kind is not RecordKind.META
+    )
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: str) -> None:
+    """Write :func:`records_to_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(records_to_jsonl(records))
+
+
+def read_jsonl(path: str) -> list[TraceRecord]:
+    """Load records from a JSONL export (validating the schema header)."""
+    records: list[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for i, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            record = TraceRecord.from_dict(json.loads(line))
+            if i == 0 and record.kind is RecordKind.META:
+                schema = record.args.get("schema")
+                if schema != SCHEMA_VERSION:
+                    raise ValueError(
+                        f"trace schema {schema} != supported {SCHEMA_VERSION}"
+                    )
+                continue
+            records.append(record)
+    return records
+
+
+def to_chrome_trace(records: Sequence[TraceRecord]) -> dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from records.
+
+    Process/thread ids are assigned in first-seen order so the export is
+    deterministic for a deterministic record stream.
+    """
+    events: list[dict[str, Any]] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+
+    def pid_of(job_id: str) -> int:
+        label = job_id or "<cluster>"
+        pid = pids.get(label)
+        if pid is None:
+            pid = pids[label] = len(pids) + 1
+            events.append(
+                {"ph": "M", "name": "process_name", "pid": pid,
+                 "args": {"name": label}}
+            )
+        return pid
+
+    def tid_of(job_id: str, lane: str) -> int:
+        pid = pid_of(job_id)
+        key = (job_id or "<cluster>", lane)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = sum(1 for k in tids if k[0] == key[0]) + 1
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                 "args": {"name": lane}}
+            )
+        return tid
+
+    for record in records:
+        if record.kind is RecordKind.META:
+            continue
+        lane = record.scope or record.cat
+        pid = pid_of(record.job_id)
+        tid = tid_of(record.job_id, lane)
+        entry: dict[str, Any] = {
+            "name": record.name,
+            "cat": record.cat,
+            "ts": record.ts * _US,
+            "pid": pid,
+            "tid": tid,
+        }
+        if record.args:
+            entry["args"] = dict(record.args)
+        if record.kind is RecordKind.SPAN:
+            entry["ph"] = "X"
+            entry["dur"] = (record.dur or 0.0) * _US
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        events.append(entry)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": SCHEMA_VERSION, "generator": "repro.obs"},
+    }
+
+
+def write_chrome_trace(records: Sequence[TraceRecord], path: str) -> None:
+    """Write :func:`to_chrome_trace` output as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(records), handle)
+        handle.write("\n")

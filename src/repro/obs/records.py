@@ -1,0 +1,125 @@
+"""Typed trace records: the stable wire schema of the observability layer.
+
+Every signal the runtime emits — job/unit/stage/task spans, shuffle-scheme
+decisions, Cache Worker spills, heartbeat-driven failure detection, recovery
+actions — is one :class:`TraceRecord`.  The record is a flat, versioned
+structure so exported JSON-lines files stay readable across releases; the
+golden-fixture test (``tests/test_trace_schema.py``) pins the exact layout.
+
+Record kinds
+------------
+``span``
+    An interval: ``ts`` is the start in simulated seconds, ``dur`` the
+    length.  Task attempts, stages, units, and jobs are spans.
+``instant``
+    A point event: ``dur`` is ``None``.  Scheme decisions, spills,
+    failure detection, and recovery actions are instants.
+``meta``
+    Stream metadata (schema version, generator); written by the exporters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Version of the record layout.  Bump only with a migration note in
+#: README's Observability section; the golden fixture pins this.
+SCHEMA_VERSION = 1
+
+
+class RecordKind(enum.Enum):
+    """Shape of one trace record."""
+
+    SPAN = "span"
+    INSTANT = "instant"
+    META = "meta"
+
+
+class Category:
+    """Well-known record categories (``cat`` values).
+
+    Plain string constants rather than an enum so user tracers can add
+    their own categories without touching this module.
+    """
+
+    JOB = "job"
+    UNIT = "unit"
+    STAGE = "stage"
+    TASK = "task"
+    SHUFFLE = "shuffle"
+    CACHE = "cache"
+    FAILURE = "failure"
+    RECOVERY = "recovery"
+    ENGINE = "engine"
+    META = "meta"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One observation; immutable so records can be shared freely."""
+
+    kind: RecordKind
+    #: Category lane, one of :class:`Category` (or user-defined).
+    cat: str
+    #: Human-readable name, e.g. ``"M1[3]"`` or ``"shuffle.scheme"``.
+    name: str
+    #: Simulated time of the observation (span start), in seconds.
+    ts: float
+    #: Span length in seconds; ``None`` for instants and meta records.
+    dur: float | None = None
+    #: Owning job, or ``""`` for cluster-level records.
+    job_id: str = ""
+    #: Sub-scope within the job (stage name, unit id, edge key).
+    scope: str = ""
+    #: Free-form attributes; values must be JSON-serializable.
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to the stable JSONL layout (fixed key order)."""
+        out: dict[str, Any] = {
+            "kind": self.kind.value,
+            "cat": self.cat,
+            "name": self.name,
+            "ts": self.ts,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.job_id:
+            out["job"] = self.job_id
+        if self.scope:
+            out["scope"] = self.scope
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            kind=RecordKind(payload["kind"]),
+            cat=str(payload["cat"]),
+            name=str(payload["name"]),
+            ts=float(payload["ts"]),
+            dur=None if payload.get("dur") is None else float(payload["dur"]),
+            job_id=str(payload.get("job", "")),
+            scope=str(payload.get("scope", "")),
+            args=dict(payload.get("args", {})),
+        )
+
+    @property
+    def end(self) -> float:
+        """Span end time (``ts`` for instants)."""
+        return self.ts + (self.dur or 0.0)
+
+
+def meta_record(generator: str = "repro.obs") -> TraceRecord:
+    """The stream-header record the exporters prepend."""
+    return TraceRecord(
+        kind=RecordKind.META,
+        cat=Category.META,
+        name="trace",
+        ts=0.0,
+        args={"schema": SCHEMA_VERSION, "generator": generator},
+    )

@@ -1,0 +1,185 @@
+"""Tracer hook: zero overhead when disabled, structured records when on.
+
+The base :class:`Tracer` is a null object: every emit method is a no-op and
+``enabled`` is ``False``, so the runtime's hot paths pay a single hoisted
+boolean check per batch (not per record) when tracing is off — the
+``BENCH_simulator.json`` terasort rate is the guarded regression budget.
+
+:class:`RecordingTracer` collects :class:`~repro.obs.records.TraceRecord`
+objects in memory and feeds a :class:`~repro.obs.metrics.MetricsRegistry`;
+export helpers write JSON-lines or Chrome ``trace_event`` files (the latter
+loads directly in Perfetto / ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from .metrics import MetricsRegistry, collect_job
+from .records import Category, RecordKind, TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
+    from ..core.metrics import JobMetrics
+
+
+class Tracer:
+    """Null tracer: the disabled-by-default hook threaded through the runtime.
+
+    Subclasses override :meth:`span` and :meth:`instant` (and optionally
+    :meth:`on_engine_event`) and set ``enabled = True``.  Emitting must never
+    mutate simulation state — tracers observe, they do not steer.
+    """
+
+    #: Hot paths check this once per batch and skip all emission when False.
+    enabled: bool = False
+    #: When True (and ``enabled``), the event engine reports every executed
+    #: event via :meth:`on_engine_event`.  Extremely verbose; off by default.
+    engine_events: bool = False
+
+    def span(
+        self,
+        cat: str,
+        name: str,
+        ts: float,
+        dur: float,
+        job_id: str = "",
+        scope: str = "",
+        **args: Any,
+    ) -> None:
+        """Record an interval observation (no-op here)."""
+
+    def instant(
+        self,
+        cat: str,
+        name: str,
+        ts: float,
+        job_id: str = "",
+        scope: str = "",
+        **args: Any,
+    ) -> None:
+        """Record a point observation (no-op here)."""
+
+    def on_engine_event(
+        self, ts: float, callback: Callable[..., Any], priority: int
+    ) -> None:
+        """Report one executed simulator event (no-op here)."""
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Bump a counter in the tracer's metrics registry (no-op here)."""
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Track a running-maximum gauge (no-op here)."""
+
+    def collect_job_metrics(self, metrics: "JobMetrics") -> None:
+        """Fold one completed job's metrics into the registry (no-op here)."""
+
+
+#: Shared null tracer; the runtime default.  Stateless, so one instance
+#: serves every simulator.
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """In-memory tracer: collects records and aggregates metrics."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        engine_events: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.engine_events = engine_events
+        self.records: list[TraceRecord] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def span(
+        self,
+        cat: str,
+        name: str,
+        ts: float,
+        dur: float,
+        job_id: str = "",
+        scope: str = "",
+        **args: Any,
+    ) -> None:
+        """Append one span record."""
+        self.records.append(
+            TraceRecord(RecordKind.SPAN, cat, name, ts, dur, job_id, scope, args)
+        )
+
+    def instant(
+        self,
+        cat: str,
+        name: str,
+        ts: float,
+        job_id: str = "",
+        scope: str = "",
+        **args: Any,
+    ) -> None:
+        """Append one instant record."""
+        self.records.append(
+            TraceRecord(RecordKind.INSTANT, cat, name, ts, None, job_id, scope, args)
+        )
+
+    def on_engine_event(
+        self, ts: float, callback: Callable[..., Any], priority: int
+    ) -> None:
+        """Append one engine-level instant (only wired when opted in)."""
+        name = getattr(callback, "__qualname__", repr(callback))
+        self.records.append(
+            TraceRecord(
+                RecordKind.INSTANT, Category.ENGINE, name, ts, None, "", "",
+                {"priority": priority},
+            )
+        )
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Bump a counter in the metrics registry."""
+        self.metrics.counter(name).inc(amount)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Track a running maximum in the metrics registry."""
+        self.metrics.gauge(name).max(value)
+
+    def collect_job_metrics(self, metrics: "JobMetrics") -> None:
+        """Fold one completed job's metrics into the registry."""
+        collect_job(self.metrics, metrics)
+
+    # ------------------------------------------------------------------
+    # Queries and export
+    # ------------------------------------------------------------------
+    def of_category(self, cat: str) -> list[TraceRecord]:
+        """All records of one category, in emission order."""
+        return [r for r in self.records if r.cat == cat]
+
+    def task_intervals(self) -> list[tuple[float, float]]:
+        """(start, end) busy intervals of every task-attempt span.
+
+        This is the record-level replacement for the runtime's private
+        ``busy_intervals`` list; figure scripts consume this instead.  The
+        exact ``finish`` arg (when present) avoids the ``ts + dur``
+        floating-point round-off.
+        """
+        return [
+            (r.ts, float(r.args["finish"]) if "finish" in r.args else r.end)
+            for r in self.records
+            if r.cat == Category.TASK and r.kind is RecordKind.SPAN
+        ]
+
+    def export_jsonl(self, path: str) -> str:
+        """Write the JSON-lines export; returns the path written."""
+        from .exporters import write_jsonl
+
+        write_jsonl(self.records, path)
+        return path
+
+    def export_chrome(self, path: str) -> str:
+        """Write the Chrome ``trace_event`` export; returns the path."""
+        from .exporters import write_chrome_trace
+
+        write_chrome_trace(self.records, path)
+        return path
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -21,6 +21,8 @@ from typing import Any, Callable, Optional
 
 import random
 
+from ..obs.tracer import NULL_TRACER, Tracer
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
@@ -79,7 +81,7 @@ _COMPACT_MIN_QUEUE = 64
 class Simulator:
     """Deterministic discrete-event simulator."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
         self._queue: list[Event] = []
         self._seq = 0
         self._now = 0.0
@@ -90,6 +92,10 @@ class Simulator:
         #: Count of events executed; used by scalability experiments to model
         #: controller load.
         self.events_processed = 0
+        #: Observability hook.  The null tracer keeps the run loop on a
+        #: pre-hoisted no-hook branch, so a disabled tracer costs nothing
+        #: per event.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -143,6 +149,7 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next event.  Returns ``False`` when the queue is empty."""
+        tracer = self.tracer
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -150,6 +157,8 @@ class Simulator:
             self._live -= 1
             self._now = event.time
             self.events_processed += 1
+            if tracer.enabled and tracer.engine_events:
+                tracer.on_engine_event(event.time, event.callback, event.priority)
             event.callback(*event.args)
             return True
         return False
@@ -163,6 +172,14 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
+        tracer = self.tracer
+        # Hoisted once per run: with tracing disabled the loop takes the
+        # no-hook branch with zero per-event work.
+        on_event = (
+            tracer.on_engine_event
+            if tracer.enabled and tracer.engine_events
+            else None
+        )
         try:
             executed = 0
             # self._queue is re-read every iteration: compaction (triggered
@@ -182,6 +199,8 @@ class Simulator:
                 self._live -= 1
                 self._now = event.time
                 self.events_processed += 1
+                if on_event is not None:
+                    on_event(event.time, event.callback, event.priority)
                 event.callback(*event.args)
                 executed += 1
                 if executed > max_events:

@@ -1,0 +1,159 @@
+"""Tests of the stable repro.api facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    RecordingTracer,
+    Runtime,
+    RuntimeConfig,
+    Simulation,
+    SimulationResult,
+    TraceConfig,
+)
+from repro.baselines import jetscope_policy
+from repro.obs import Category
+from repro.sim.failures import FailureKind, FailurePlan, FailureSpec
+from repro.workloads import terasort
+
+
+def _small_config(**overrides) -> RuntimeConfig:
+    defaults = dict(n_machines=4, executors_per_machine=8)
+    defaults.update(overrides)
+    return RuntimeConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# RuntimeConfig
+# ----------------------------------------------------------------------
+
+def test_config_dict_round_trip_is_exact():
+    config = _small_config(reference_duration=50.0, fast_path=False)
+    config.sim.seed = 7
+    config.failure_plan.add(FailureSpec(
+        kind=FailureKind.TASK_CRASH, stage="M1", at_fraction=0.5,
+    ))
+    payload = config.to_dict()
+    rebuilt = RuntimeConfig.from_dict(payload)
+    assert rebuilt.to_dict() == payload
+
+
+def test_config_survives_json_serialization():
+    payload = json.loads(json.dumps(_small_config().to_dict()))
+    rebuilt = RuntimeConfig.from_dict(payload)
+    assert rebuilt.to_dict() == _small_config().to_dict()
+
+
+def test_config_round_trips_non_default_policy():
+    config = _small_config(policy=jetscope_policy())
+    rebuilt = RuntimeConfig.from_dict(config.to_dict())
+    assert rebuilt.policy.name == config.policy.name
+    assert rebuilt.policy.partitioner.name == config.policy.partitioner.name
+    assert rebuilt.policy.recovery == config.policy.recovery
+
+
+@pytest.mark.parametrize("overrides", [
+    {"n_machines": 0},
+    {"executors_per_machine": 0},
+    {"reference_duration": -1.0},
+    {"reference_duration": {"j": 0.0}},
+])
+def test_config_validation_rejects_bad_values(overrides):
+    with pytest.raises(ValueError):
+        RuntimeConfig(**overrides).validate()
+
+
+def test_from_dict_rejects_unknown_partitioner():
+    with pytest.raises(ValueError, match="partitioner"):
+        RuntimeConfig.from_dict({"policy": {"partitioner": "nope"}})
+
+
+# ----------------------------------------------------------------------
+# TraceConfig
+# ----------------------------------------------------------------------
+
+def test_trace_config_rejects_unknown_format():
+    with pytest.raises(ValueError, match="format"):
+        TraceConfig(format="xml")
+
+
+def test_trace_config_output_paths():
+    both = TraceConfig(path="run.json", format="both")
+    assert both.output_paths() == ["run.json", "run.jsonl"]
+    assert TraceConfig(path=None).output_paths() == []
+    assert TraceConfig(path="t", format="jsonl").output_paths() == ["t.jsonl"]
+
+
+# ----------------------------------------------------------------------
+# Simulation / Runtime
+# ----------------------------------------------------------------------
+
+def test_simulation_run_without_trace_still_aggregates_metrics():
+    outcome = Simulation(_small_config()).run(terasort.terasort_job(10, 10))
+    assert isinstance(outcome, SimulationResult)
+    assert outcome.completed
+    assert outcome.trace == []
+    assert outcome.makespan > 0
+    assert outcome.mean_latency > 0
+    assert outcome.metrics.counter("jobs_completed").value == 1
+
+
+def test_simulation_run_with_trace_records_and_exports(tmp_path):
+    base = tmp_path / "run"
+    outcome = Simulation(_small_config()).run(
+        terasort.terasort_job(10, 10),
+        trace=TraceConfig(path=str(base), format="both"),
+    )
+    assert outcome.completed
+    task_spans = [r for r in outcome.trace if r.cat == Category.TASK]
+    assert len(task_spans) == 20
+    assert outcome.trace_files == [str(base) + ".json", str(base) + ".jsonl"]
+    chrome = json.loads((tmp_path / "run.json").read_text())
+    assert {e["ph"] for e in chrome["traceEvents"]} >= {"X", "M"}
+    assert outcome.metrics.counter("tasks_finished").value == 20
+
+
+def test_simulation_accepts_prebuilt_tracer():
+    tracer = RecordingTracer()
+    outcome = Simulation(_small_config()).run(
+        terasort.terasort_job(6, 6), trace=tracer
+    )
+    assert outcome.trace and outcome.trace == tracer.records
+
+
+def test_simulation_result_job_lookup():
+    outcome = Simulation(_small_config()).run(terasort.terasort_job(6, 6))
+    job_id = outcome.results[0].job_id
+    assert outcome.job(job_id) is outcome.results[0]
+    with pytest.raises(KeyError):
+        outcome.job("missing")
+
+
+def test_with_config_overrides_top_level_fields():
+    sim = Simulation(_small_config()).with_config(n_machines=6)
+    assert sim.config.n_machines == 6
+    assert sim.config.executors_per_machine == 8
+
+
+def test_runtime_facade_submit_run():
+    runtime = Runtime(_small_config())
+    runtime.submit(terasort.terasort_job(6, 6))
+    results = runtime.run()
+    assert len(results) == 1 and results[0].completed
+    assert not runtime.tracer.enabled
+
+
+def test_runtime_facade_validates_config():
+    with pytest.raises(ValueError):
+        Runtime(RuntimeConfig(n_machines=0))
+
+
+def test_facade_reexported_from_package_root():
+    import repro
+
+    assert repro.Simulation is Simulation
+    assert repro.RuntimeConfig is RuntimeConfig
+    assert repro.TraceConfig is TraceConfig

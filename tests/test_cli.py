@@ -46,8 +46,54 @@ def test_sql_command(capsys):
 
 def test_replay_command(capsys):
     assert main(["replay", "--jobs", "30"]) == 0
-    out = capsys.readouterr().out
+    captured = capsys.readouterr()
+    out = captured.out
     assert "swift" in out and "jetscope" in out and "speedup" in out
+    # The job-count --jobs spelling still parses but is deprecated.
+    assert "deprecated" in captured.err and "--n-jobs" in captured.err
+
+
+def test_replay_canonical_n_jobs_flag(capsys):
+    assert main(["replay", "--n-jobs", "30"]) == 0
+    captured = capsys.readouterr()
+    assert "replaying 30 jobs" in captured.out
+    assert "deprecated" not in captured.err
+
+
+def test_deprecated_output_flag_maps_to_out(capsys):
+    args = build_parser().parse_args(["report", "--output", "x.md"])
+    assert args.out == "x.md"
+    err = capsys.readouterr().err
+    assert "deprecated" in err and "--out" in err
+
+
+def test_trace_command_writes_perfetto_trace(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "t"
+    assert main(["trace", "fig9a", "--out", str(base), "--format", "both"]) == 0
+    out = capsys.readouterr().out
+    assert "records" in out and str(base) + ".json" in out
+    chrome = json.loads((tmp_path / "t.json").read_text())
+    assert {"traceEvents", "displayTimeUnit"} <= set(chrome)
+    assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+    jsonl_lines = (tmp_path / "t.jsonl").read_text().splitlines()
+    assert json.loads(jsonl_lines[0])["args"]["schema"] == 1
+
+
+def test_trace_command_normalizes_key_spellings():
+    from repro.cli import _normalize_trace_key, _trace_registry
+
+    assert _normalize_trace_key("fig03") == "fig3"
+    assert _normalize_trace_key("FIG9A") == "fig9a"
+    assert _normalize_trace_key("terasort") == "table1"
+    assert {"fig3", "fig9a", "fig9b", "fig13", "table1",
+            "replay"} <= set(_trace_registry())
+
+
+def test_trace_command_unknown_experiment(capsys):
+    assert main(["trace", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
 
 
 def test_parser_requires_command():

@@ -8,6 +8,9 @@ Two invariants the performance work must never break:
 * The runtime's finish-ledger fast path produces JobMetrics identical to
   the legacy one-event-per-task kernel, for every policy and with or
   without injected failures.
+* Tracing observes without steering: a run with a RecordingTracer
+  attached produces byte-identical results to an untraced run, and the
+  tracer's task spans reproduce the runtime's busy intervals exactly.
 """
 
 from __future__ import annotations
@@ -16,8 +19,9 @@ import random
 
 import pytest
 
-from repro.baselines import bubble_policy, jetscope_policy
+from repro.baselines import bubble_policy, jetscope_policy, restart_policy
 from repro.core.policies import swift_policy
+from repro.obs import RecordingTracer
 from repro.experiments import figures
 from repro.experiments.harness import run_jobs
 from repro.experiments.parallel import clear_memory_cache, set_default_jobs
@@ -85,3 +89,33 @@ def test_fast_path_matches_legacy_kernel(make_policy, with_failures):
         assert fast.metrics == legacy.metrics
     assert fast_rt.busy_intervals == legacy_rt.busy_intervals
     assert fast_rt.admin.stats.__dict__ == legacy_rt.admin.stats.__dict__
+
+
+@pytest.mark.parametrize("make_policy", [swift_policy, restart_policy])
+@pytest.mark.parametrize("with_failures", [False, True])
+@pytest.mark.parametrize("fast_path", [True, False])
+def test_tracing_does_not_perturb_simulation(make_policy, with_failures, fast_path):
+    """Attaching a RecordingTracer is pure observation: results, busy
+    intervals, and admin stats stay byte-identical, and the task-attempt
+    spans reproduce the runtime's private busy_intervals list (the record
+    stream the figure scripts now consume)."""
+    jobs = traces.generate_trace(
+        traces.TraceConfig(n_jobs=6, mean_interarrival=0.2)
+    )
+    plan = _failure_plan(jobs) if with_failures else None
+    plain_results, plain_rt = run_jobs(
+        make_policy(), jobs, failure_plan=plan, fast_path=fast_path
+    )
+    tracer = RecordingTracer()
+    traced_results, traced_rt = run_jobs(
+        make_policy(), jobs, failure_plan=plan, fast_path=fast_path,
+        tracer=tracer,
+    )
+    assert len(plain_results) == len(traced_results)
+    for plain, traced in zip(plain_results, traced_results):
+        assert plain.job_id == traced.job_id
+        assert plain.completed == traced.completed
+        assert plain.metrics == traced.metrics
+    assert plain_rt.busy_intervals == traced_rt.busy_intervals
+    assert plain_rt.admin.stats.__dict__ == traced_rt.admin.stats.__dict__
+    assert tracer.task_intervals() == traced_rt.busy_intervals

@@ -1,0 +1,39 @@
+"""Lint/type gates for the typed facade, run as part of the test entrypoint.
+
+Both gates are skipped when the tool is not installed (the test container
+ships without them); with the ``dev`` extra installed they enforce a clean
+``ruff check`` on the whole tree and ``mypy --strict`` on the stable
+``repro.api`` / ``repro.obs`` surfaces.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(argv: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        argv, cwd=ROOT, capture_output=True, text=True, timeout=600
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = _run(["ruff", "check", "src", "tests"])
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}{proc.stderr}"
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_on_stable_facade():
+    proc = _run([
+        sys.executable, "-m", "mypy", "--strict",
+        "src/repro/api", "src/repro/obs",
+    ])
+    assert proc.returncode == 0, f"mypy findings:\n{proc.stdout}{proc.stderr}"

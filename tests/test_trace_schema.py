@@ -1,0 +1,89 @@
+"""Trace-record schema stability: a golden JSONL fixture pins the layout.
+
+The fixture is the JSONL export of a small deterministic traced run
+(Terasort with one injected task crash, so failure/recovery records are
+covered).  Any change to record fields, key order, category names, or the
+schema version shows up as a fixture diff.  To regenerate after an
+intentional schema bump::
+
+    PYTHONPATH=src python tests/test_trace_schema.py
+
+and document the migration in README's Observability section.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api import RuntimeConfig, Simulation, SimulationResult
+from repro.obs import SCHEMA_VERSION, Category, RecordKind, records_to_jsonl
+from repro.sim.failures import FailureKind, FailureSpec
+from repro.workloads import terasort
+
+GOLDEN = Path(__file__).parent / "data" / "golden_trace.jsonl"
+
+#: Keys in the exact order to_dict emits them; nothing else may appear.
+_KEY_ORDER = ("kind", "cat", "name", "ts", "dur", "job", "scope", "args")
+
+_KNOWN_CATEGORIES = {
+    Category.JOB, Category.UNIT, Category.STAGE, Category.TASK,
+    Category.SHUFFLE, Category.CACHE, Category.FAILURE, Category.RECOVERY,
+    Category.ENGINE, Category.META,
+}
+
+
+def _golden_run() -> SimulationResult:
+    config = RuntimeConfig(
+        n_machines=4, executors_per_machine=8, reference_duration=20.0,
+    )
+    config.failure_plan.add(FailureSpec(
+        kind=FailureKind.TASK_CRASH, stage="map", at_fraction=0.5,
+    ))
+    return Simulation(config).run(terasort.terasort_job(8, 8), trace=True)
+
+
+def test_export_matches_golden_fixture():
+    text = records_to_jsonl(_golden_run().trace)
+    assert text == GOLDEN.read_text(encoding="utf-8"), (
+        "trace export drifted from tests/data/golden_trace.jsonl; if the "
+        "schema change is intentional, bump SCHEMA_VERSION and regenerate "
+        "(see this module's docstring)"
+    )
+
+
+def test_golden_header_pins_schema_version():
+    header = json.loads(GOLDEN.read_text().splitlines()[0])
+    assert header["kind"] == "meta"
+    assert header["args"]["schema"] == SCHEMA_VERSION == 1
+
+
+def test_golden_records_are_schema_clean():
+    lines = GOLDEN.read_text().splitlines()
+    assert len(lines) > 20
+    for line in lines[1:]:
+        payload = json.loads(line)
+        keys = list(payload)
+        assert set(keys) <= set(_KEY_ORDER)
+        assert keys == [k for k in _KEY_ORDER if k in payload], "key order drifted"
+        assert payload["kind"] in {k.value for k in RecordKind}
+        assert payload["cat"] in _KNOWN_CATEGORIES
+        assert payload["ts"] >= 0
+        if "dur" in payload:
+            assert payload["dur"] >= 0
+
+
+def test_golden_covers_the_documented_signal_set():
+    cats = {json.loads(line)["cat"] for line in GOLDEN.read_text().splitlines()[1:]}
+    assert {Category.JOB, Category.UNIT, Category.STAGE, Category.TASK,
+            Category.SHUFFLE, Category.FAILURE, Category.RECOVERY} <= cats
+    names = {json.loads(line)["name"]
+             for line in GOLDEN.read_text().splitlines()[1:]}
+    assert {"job.submitted", "unit.granted", "shuffle.scheme",
+            "failure.injected", "failure.detected"} <= names
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(records_to_jsonl(_golden_run().trace), encoding="utf-8")
+    print(f"wrote {GOLDEN}")
