@@ -22,19 +22,23 @@ Sub-packages:
 * :mod:`repro.sim` — discrete-event cluster simulator (the substrate).
 * :mod:`repro.core` — the paper's contribution: graphlet partitioning,
   fine-grained scheduling, adaptive in-network shuffle, failure recovery.
-* :mod:`repro.sql` — the SQL-like front end (Fig. 1) and a row-level
-  executor for the examples.
+* :mod:`repro.sql` — the SQL-like front end (Fig. 1) plus two answer
+  engines: a row-level executor and a vectorized columnar engine behind
+  an adaptive dispatcher (:func:`repro.api.run_sql`).
 * :mod:`repro.workloads` — TPC-H, Terasort, and trace-calibrated workloads.
 * :mod:`repro.baselines` — Spark, JetScope, and Bubble Execution models.
 * :mod:`repro.experiments` — harnesses regenerating every table/figure.
 """
 
 from .api import (
+    QueryOutcome,
     Runtime,
     RuntimeConfig,
     Simulation,
     SimulationResult,
     TraceConfig,
+    run_sql,
+    sql_engine_for,
 )
 from .core import (
     Edge,
@@ -89,6 +93,7 @@ __all__ = [
     "MetricsRegistry",
     "Operator",
     "OperatorKind",
+    "QueryOutcome",
     "RecordingTracer",
     "Runtime",
     "RuntimeConfig",
@@ -104,6 +109,8 @@ __all__ = [
     "TraceConfig",
     "TraceRecord",
     "Tracer",
+    "run_sql",
+    "sql_engine_for",
     "swift_policy",
     "__version__",
 ]

@@ -38,6 +38,7 @@ from ..sim.config import SimConfig
 from ..sim.failures import FailureKind, FailurePlan, FailureSpec
 from .config import RuntimeConfig
 from .simulation import Simulation, SimulationResult, TraceConfig, Runtime
+from .sql import QueryOutcome, run_sql, sql_engine_for
 
 __all__ = [
     "Edge",
@@ -54,6 +55,7 @@ __all__ = [
     "LaunchModel",
     "MetricsRegistry",
     "PhaseBreakdown",
+    "QueryOutcome",
     "RecordingTracer",
     "Runtime",
     "RuntimeConfig",
@@ -67,5 +69,7 @@ __all__ = [
     "TraceConfig",
     "TraceRecord",
     "Tracer",
+    "run_sql",
+    "sql_engine_for",
     "swift_policy",
 ]

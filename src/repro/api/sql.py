@@ -1,0 +1,54 @@
+"""SQL facade: engine-dispatched query execution with typed outcomes.
+
+Thin, fully-typed wrapper over :mod:`repro.sql.dispatch`: one call runs a
+query on the columnar engine when every operator is supported and on the
+row executor otherwise, and reports which engine ran in the returned
+:class:`~repro.sql.dispatch.QueryOutcome`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
+from ..sql.catalog import Catalog
+from ..sql.columnar import DEFAULT_BATCH_SIZE
+from ..sql.dispatch import QueryOutcome, engine_for, execute_sql
+
+Row = dict[str, Any]
+Database = dict[str, list[Row]]
+
+
+def run_sql(
+    sql: str,
+    database: Database,
+    *,
+    engine: str = "auto",
+    catalog: Optional[Catalog] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> QueryOutcome:
+    """Run ``sql`` over ``database`` on the selected engine.
+
+    ``engine`` is ``"auto"`` (default: columnar when the whole plan is
+    supported, row otherwise), ``"row"``, or ``"columnar"``.  The outcome
+    carries the result rows plus the engine that actually ran and why.
+    """
+    outcome: QueryOutcome = execute_sql(
+        sql, database, catalog, engine=engine, batch_size=batch_size,
+        tracer=tracer, metrics=metrics,
+    )
+    return outcome
+
+
+def sql_engine_for(
+    sql: str, database: Database, catalog: Optional[Catalog] = None
+) -> tuple[str, str]:
+    """``(engine, reason)`` that ``engine="auto"`` would pick for ``sql``."""
+    chosen: tuple[str, str] = engine_for(sql, database, catalog)
+    return chosen
+
+
+__all__ = ["Database", "QueryOutcome", "Row", "run_sql", "sql_engine_for"]

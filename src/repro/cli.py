@@ -8,12 +8,16 @@ Commands
     Run one or more experiments by key and print their tables.
 ``report [--quick] [--out PATH] [--jobs N]``
     Run everything and write the EXPERIMENTS.md document.
-``bench [--quick] [--out PATH]``
-    Benchmark the simulator substrate and write BENCH_simulator.json.
-``sql [--query TEXT | --file PATH] [--scale N] [--execute]``
+``bench [--quick] [--suite all|simulator|sql] [--out PATH] [--sql-out PATH] [--check]``
+    Benchmark the simulator substrate (BENCH_simulator.json) and the SQL
+    engines (BENCH_sql.json).  ``--check`` compares a fresh run against
+    the committed JSON instead of overwriting it and exits non-zero when
+    a gated metric regressed beyond ``--tolerance``.
+``sql [--query TEXT | --file PATH] [--scale N] [--execute] [--engine E]``
     Compile a Swift-language query to a job DAG, show the plan and the
-    graphlet partitioning, simulate it, and optionally execute it row-level
-    on a generated mini TPC-H database (``--execute``).
+    graphlet partitioning, simulate it, and optionally execute it on a
+    generated mini TPC-H database (``--execute``; ``--engine`` picks
+    row/columnar/auto).
 ``replay [--n-jobs N]``
     Replay a trace against Swift, Bubble Execution, and JetScope.
 ``trace <experiment> [--out PATH] [--format chrome|jsonl|both]``
@@ -184,11 +188,11 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     from .sql import (
         FIG1_QUERY,
         compile_sql,
+        execute_sql,
         explain,
         generate_database,
         parse,
         plan_statement,
-        run_query,
     )
 
     if args.file:
@@ -214,9 +218,13 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     print(f"\nsimulated run time: {result.metrics.run_time:.2f}s "
           f"({len(result.metrics.tasks)} tasks)")
     if args.execute:
-        rows = run_query(query, generate_database())
-        print(f"\n=== row results ({len(rows)} rows, first 10) ===")
-        for row in rows[:10]:
+        outcome = execute_sql(
+            query, generate_database(),
+            engine=args.engine, batch_size=args.batch_size,
+        )
+        print(f"\n=== results ({len(outcome.rows)} rows, first 10) "
+              f"[engine={outcome.engine}: {outcome.reason}] ===")
+        for row in outcome.rows[:10]:
             print(f"  {row}")
     return 0
 
@@ -240,13 +248,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments import bench
-
-    payload = bench.write_bench_file(
-        path=args.out, quick=args.quick,
-        echo=lambda m: print(m, file=sys.stderr),
-    )
+def _print_simulator_summary(payload: dict) -> None:
     terasort = payload["terasort"]
     print(f"event engine: {payload['event_engine']['events_per_s']:,.0f} events/s")
     print(f"cancel-heavy: {payload['cancel_heavy']['events_per_s']:,.0f} events/s")
@@ -257,10 +259,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"recording {tracing['recording_ms']:.1f}ms "
           f"({tracing['recording_overhead_pct']:+.1f}%)")
     replay = payload["parallel_replay"]
-    print(f"parallel replay: serial {replay['serial_s']:.2f}s -> "
-          f"{replay['workers']} workers {replay['parallel_s']:.2f}s "
+    print(f"parallel replay [{replay['mode']}]: serial {replay['serial_s']:.2f}s "
+          f"-> {replay['effective_workers']} worker(s) {replay['parallel_s']:.2f}s "
           f"({replay['speedup']:.2f}x)")
-    print(f"wrote {args.out}", file=sys.stderr)
+
+
+def _print_sql_summary(payload: dict) -> None:
+    for scenario, result in payload.items():
+        if not isinstance(result, dict):
+            continue
+        print(f"sql {scenario}: row {result.get('row_ms', 0.0):.0f}ms -> "
+              f"columnar {result.get('columnar_ms', 0.0):.0f}ms "
+              f"({result.get('speedup', 0.0):.2f}x, "
+              f"{result.get('n_rows', 0):,} rows)")
+
+
+def _check_payload(path: str, fresh: dict, tolerance: float) -> list[str]:
+    """Compare ``fresh`` against the committed bench file at ``path``."""
+    import json
+    import os
+
+    from .experiments import bench
+
+    if not os.path.exists(path):
+        print(f"note: no committed {path} to check against; skipping",
+              file=sys.stderr)
+        return []
+    with open(path, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    return bench.compare_payloads(committed, fresh, tolerance=tolerance)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import bench
+
+    echo = lambda m: print(m, file=sys.stderr)  # noqa: E731
+    problems: list[str] = []
+    if args.suite in ("all", "simulator"):
+        payload = bench.run_benchmarks(quick=args.quick, echo=echo)
+        _print_simulator_summary(payload)
+        if args.check:
+            problems += _check_payload(args.out, payload, args.tolerance)
+        else:
+            bench.write_payload(args.out, payload)
+            print(f"wrote {args.out}", file=sys.stderr)
+    if args.suite in ("all", "sql"):
+        payload = bench.run_sql_benchmarks(quick=args.quick, echo=echo)
+        _print_sql_summary(payload)
+        if args.check:
+            problems += _check_payload(args.sql_out, payload, args.tolerance)
+        else:
+            bench.write_payload(args.sql_out, payload)
+            print(f"wrote {args.sql_out}", file=sys.stderr)
+    if args.check:
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        if problems:
+            return 1
+        print("bench check passed: no gated metric regressed "
+              f"beyond {args.tolerance:.0%}")
     return 0
 
 
@@ -348,10 +405,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_options(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
-    p_bench = sub.add_parser("bench", help="benchmark the simulator substrate")
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the simulator substrate and SQL engines"
+    )
     p_bench.add_argument("--quick", action="store_true", help="smaller scenarios")
+    p_bench.add_argument("--suite", choices=("all", "simulator", "sql"),
+                         default="all", help="which benchmark suite(s) to run")
     _add_output_option(p_bench, default="BENCH_simulator.json",
-                       what="the JSON document")
+                       what="the simulator JSON document")
+    p_bench.add_argument("--sql-out", default="BENCH_sql.json", metavar="PATH",
+                         help="write the SQL suite to PATH "
+                              "(default BENCH_sql.json)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="compare against the committed JSON instead of "
+                              "overwriting it; exit 1 on regression")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="allowed relative drop for --check "
+                              "(default 0.25 = 25%%)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_trace = sub.add_parser(
@@ -374,7 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TPC-H scale factor for planning (default 1000 = 1 TB)")
     p_sql.add_argument("--machines", type=int, default=100)
     p_sql.add_argument("--execute", action="store_true",
-                       help="also execute row-level on a mini database")
+                       help="also execute the query on a mini database")
+    p_sql.add_argument("--engine", choices=("auto", "row", "columnar"),
+                       default="auto",
+                       help="execution engine for --execute (auto picks "
+                            "columnar when the whole plan is supported)")
+    p_sql.add_argument("--batch-size", type=int, default=4096, metavar="N",
+                       help="columnar batch size (default 4096)")
     p_sql.set_defaults(func=_cmd_sql)
 
     p_replay = sub.add_parser("replay", help="trace replay vs baselines")

@@ -41,6 +41,9 @@ from typing import Any, Optional, Sequence
 JOBS_ENV = "REPRO_JOBS"
 #: Environment variable enabling the on-disk result cache.
 CACHE_ENV = "REPRO_CACHE_DIR"
+#: Fewest uncached cells worth a process pool: below this, interpreter
+#: spin-up plus pickling costs about as much as just running the cell.
+MIN_CELLS_FOR_POOL = 2
 
 _default_jobs: Optional[int] = None
 #: Process-wide memory cache: spec hash -> normalised payload.
@@ -92,6 +95,29 @@ def default_jobs() -> int:
         except ValueError:
             pass
     return 1
+
+
+def _cpu_count() -> int:
+    """Usable CPU count (monkeypatched in tests)."""
+    return os.cpu_count() or 1
+
+
+def execution_plan(n_cells: int, jobs: Optional[int] = None) -> tuple[str, int]:
+    """How ``run_cells`` would execute ``n_cells`` uncached cells.
+
+    Returns ``("process-pool", workers)`` or ``("serial", 1)``.  The
+    effective worker count is capped by the cell count and the host's CPU
+    count; when it degrades to 1 — or there are too few cells to amortise
+    pool spin-up and pickling — the plan is serial, so a ``--jobs 3`` run
+    on a single-CPU host never pays fan-out overhead for nothing.
+    """
+    requested = jobs if jobs is not None else default_jobs()
+    if requested < 1:
+        raise ValueError(f"jobs must be >= 1, got {requested}")
+    workers = min(requested, n_cells, max(1, _cpu_count()))
+    if workers <= 1 or n_cells < MIN_CELLS_FOR_POOL:
+        return "serial", 1
+    return "process-pool", workers
 
 
 def clear_memory_cache() -> None:
@@ -171,8 +197,9 @@ def run_cells(
         misses.append(i)
 
     if misses:
-        if n_jobs > 1 and len(misses) > 1:
-            with ProcessPoolExecutor(max_workers=min(n_jobs, len(misses))) as pool:
+        mode, workers = execution_plan(len(misses), n_jobs)
+        if mode == "process-pool":
+            with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(_call_cell, cells[i].module, cells[i].func, cells[i].kwargs)
                     for i in misses

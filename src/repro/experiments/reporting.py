@@ -200,6 +200,14 @@ def build_report(quick: bool = False, echo: Callable[[str], None] | None = None)
         "jsonl`, then `repro.obs.read_jsonl`).  See README's "
         "Observability section.",
         "",
+        "Substrate and SQL-engine benchmarks live outside this report: "
+        "`python -m repro bench` regenerates `BENCH_simulator.json` and "
+        "`BENCH_sql.json` (row vs. columnar engine; run it on an otherwise "
+        "idle machine before committing fresh numbers), and `python -m "
+        "repro bench --check` compares a fresh run against the committed "
+        "files without overwriting them, failing on >25% regressions of "
+        "the gated speedups.",
+        "",
     ]
     for section in sections:
         if echo:

@@ -22,8 +22,30 @@ from .ast import (
     UnaryOp,
 )
 from .catalog import Catalog, CatalogError, Column, DEFAULT_CATALOG, TableSchema, TPCH_TABLES
+from .columnar import (
+    DEFAULT_BATCH_SIZE,
+    ColumnarExecutor,
+    ColumnBatch,
+    UnsupportedFeature,
+    compile_kernel,
+)
 from .datagen import generate_database
-from .executor import ExecutionError, QueryExecutor, eval_expr, run_query
+from .dispatch import (
+    ENGINES,
+    QueryOutcome,
+    engine_for,
+    execute_plan,
+    execute_sql,
+    run_query,
+)
+from .executor import (
+    ExecutionError,
+    QueryExecutor,
+    eval_expr,
+    like_to_glob,
+    plan_schema,
+    sql_like,
+)
 from .lexer import LexError, Token, TokenKind, tokenize
 from .logical import (
     LogicalAggregate,
@@ -48,8 +70,12 @@ __all__ = [
     "Catalog",
     "CatalogError",
     "Column",
+    "ColumnBatch",
     "ColumnRef",
+    "ColumnarExecutor",
+    "DEFAULT_BATCH_SIZE",
     "DEFAULT_CATALOG",
+    "ENGINES",
     "ExecutionError",
     "Expr",
     "FunctionCall",
@@ -70,6 +96,7 @@ __all__ = [
     "PhysicalPlanner",
     "PlanError",
     "QueryExecutor",
+    "QueryOutcome",
     "SelectItem",
     "SelectStatement",
     "Star",
@@ -80,14 +107,22 @@ __all__ = [
     "Token",
     "TokenKind",
     "UnaryOp",
+    "UnsupportedFeature",
+    "compile_kernel",
     "compile_sql",
+    "engine_for",
     "eval_expr",
+    "execute_plan",
+    "execute_sql",
     "explain",
     "generate_database",
+    "like_to_glob",
     "parse",
+    "plan_schema",
     "plan_statement",
     "run_query",
     "scans_in",
+    "sql_like",
     "tokenize",
 ]
 

@@ -48,8 +48,34 @@ class ExecutionError(RuntimeError):
 # Expression evaluation
 # ----------------------------------------------------------------------
 
-def _like_to_glob(pattern: str) -> str:
-    return pattern.replace("%", "*").replace("_", "?")
+#: fnmatch metacharacters that must be escaped when they appear literally
+#: in a SQL LIKE pattern (``]`` is only special after an unescaped ``[``).
+_GLOB_SPECIALS = frozenset("*?[")
+
+
+def like_to_glob(pattern: str) -> str:
+    """Translate a SQL LIKE pattern into an ``fnmatch`` glob.
+
+    ``%`` and ``_`` become ``*`` and ``?``; glob metacharacters already
+    present in the SQL pattern are wrapped in character classes so
+    ``LIKE '10[%'`` matches a literal ``[`` instead of opening a class.
+    """
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append("*")
+        elif ch == "_":
+            out.append("?")
+        elif ch in _GLOB_SPECIALS:
+            out.append(f"[{ch}]")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def sql_like(value: object, pattern: object) -> bool:
+    """SQL LIKE semantics shared by the row and columnar engines."""
+    return fnmatch.fnmatchcase(str(value), like_to_glob(str(pattern)))
 
 
 _SCALAR_FUNCTIONS: dict[str, Callable[..., object]] = {
@@ -86,7 +112,8 @@ def eval_expr(expr: Expr, row: Row) -> object:
     if isinstance(expr, UnaryOp):
         value = eval_expr(expr.operand, row)
         if expr.op == "-":
-            return -value  # type: ignore[operator]
+            # NULL propagates through arithmetic, same as binary operators.
+            return None if value is None else -value
         if expr.op == "not":
             return not value
         raise ExecutionError(f"unknown unary operator {expr.op}")
@@ -124,7 +151,7 @@ def _eval_binary(expr: BinaryOp, row: Row) -> object:
     left = eval_expr(expr.left, row)
     right = eval_expr(expr.right, row)
     if op == "like":
-        return fnmatch.fnmatchcase(str(left), _like_to_glob(str(right)))
+        return sql_like(left, right)
     if op == "||":
         return f"{left}{right}"
     if left is None or right is None:
@@ -286,11 +313,67 @@ def _resolve_side(ref: ColumnRef, row: Row) -> Optional[object]:
     return None
 
 
+def _qualified_names(names: Iterable[str], binding: Optional[str]) -> list[str]:
+    """Column names after :func:`_qualify`: bare names plus binding aliases."""
+    out: dict[str, None] = dict.fromkeys(names)
+    if binding:
+        for name in list(out):
+            if "." not in name:
+                out[f"{binding}.{name}"] = None
+    return list(out)
+
+
+def plan_schema(node: LogicalNode, database: Database, catalog=None) -> Optional[list[str]]:
+    """Best-effort static column names of ``node``'s output rows.
+
+    Returns ``None`` when the shape cannot be determined without running
+    the plan (an empty base table absent from ``catalog``, or a node whose
+    output depends on the data).  Both engines use this to NULL-fill the
+    right side of unmatched LEFT JOIN rows when the right input is empty.
+    """
+    if isinstance(node, LogicalScan):
+        rows = database.get(node.table)
+        if rows:
+            return _qualified_names(rows[0].keys(), node.binding)
+        if catalog is not None:
+            try:
+                names = catalog.resolve_table(node.table).column_names()
+            except KeyError:
+                return None
+            return _qualified_names(names, node.binding)
+        return None
+    if isinstance(node, LogicalSubquery):
+        inner = plan_schema(node.child, database, catalog)
+        return None if inner is None else _qualified_names(inner, node.binding)
+    if isinstance(node, (LogicalFilter, LogicalSort, LogicalLimit)):
+        return plan_schema(node.child, database, catalog)
+    if isinstance(node, LogicalJoin):
+        left = plan_schema(node.left, database, catalog)
+        right = plan_schema(node.right, database, catalog)
+        if left is None or right is None:
+            return None
+        present = set(left)
+        return left + [name for name in right if name not in present]
+    if isinstance(node, (LogicalAggregate, LogicalProject)):
+        names_out: dict[str, None] = {}
+        for item in node.items:
+            if isinstance(item.expr, Star):
+                child = plan_schema(node.child, database, catalog)
+                if child is None:
+                    return None
+                names_out.update(dict.fromkeys(child))
+            else:
+                names_out[item.output_name] = None
+        return list(names_out)
+    return None
+
+
 class QueryExecutor:
     """Executes logical plans over an in-memory database."""
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, catalog=None) -> None:
         self.database = database
+        self.catalog = catalog
 
     def execute(self, node: LogicalNode) -> list[Row]:
         """Evaluate the plan and materialise all result rows."""
@@ -326,6 +409,17 @@ class QueryExecutor:
         left_rows = list(self._run(node.left))
         right_rows = list(self._run(node.right))
         keys = _extract_equi_keys(node.condition)
+        null_right: Row = {}
+        if node.kind == "left":
+            names: dict[str, None] = {}
+            if right_rows:
+                for row in right_rows:
+                    names.update(dict.fromkeys(row))
+            else:
+                names.update(dict.fromkeys(
+                    plan_schema(node.right, self.database, self.catalog) or ()
+                ))
+            null_right = dict.fromkeys(names)
         out: list[Row] = []
         if keys:
             # Hash join: bucket the right side; decide per key pair which
@@ -351,7 +445,7 @@ class QueryExecutor:
                         out.append(combined)
                         matched = True
                 if not matched and node.kind == "left":
-                    out.append(dict(lrow))
+                    out.append({**lrow, **null_right})
         else:
             for lrow in left_rows:
                 matched = False
@@ -361,7 +455,7 @@ class QueryExecutor:
                         out.append(combined)
                         matched = True
                 if not matched and node.kind == "left":
-                    out.append(dict(lrow))
+                    out.append({**lrow, **null_right})
         return out
 
     # ------------------------------------------------------------------
@@ -456,4 +550,4 @@ def run_query(sql: str, database: Database, catalog=None) -> list[Row]:
 
     statement = parse(sql)
     plan = plan_statement(statement, catalog or DEFAULT_CATALOG)
-    return QueryExecutor(database).execute(plan)
+    return QueryExecutor(database, catalog or DEFAULT_CATALOG).execute(plan)

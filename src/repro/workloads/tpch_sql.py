@@ -152,3 +152,15 @@ def query_sql(query: int) -> str:
             f"no Swift-dialect text for Q{query}; available: {runnable_queries()}"
         )
     return TPCH_SQL[query]
+
+
+def run_tpch_query(query: int, database, engine: str = "auto", **kwargs):
+    """Execute TPC-H ``query`` over ``database`` via the engine dispatcher.
+
+    ``engine`` is ``"auto"`` (columnar when supported), ``"row"``, or
+    ``"columnar"``; extra keyword arguments (``batch_size``, ``tracer``,
+    ``metrics``) pass through to :func:`repro.sql.dispatch.run_query`.
+    """
+    from ..sql.dispatch import run_query
+
+    return run_query(query_sql(query), database, engine=engine, **kwargs)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.dag import Edge, EdgeMode, Job, JobDAG, Stage
+from repro.core.dag import Edge, Job, JobDAG, Stage
 from repro.core.operators import OperatorKind as K, ops
 from repro.sim.cluster import Cluster
 from repro.sim.config import SimConfig

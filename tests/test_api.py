@@ -16,7 +16,7 @@ from repro.api import (
 )
 from repro.baselines import jetscope_policy
 from repro.obs import Category
-from repro.sim.failures import FailureKind, FailurePlan, FailureSpec
+from repro.sim.failures import FailureKind, FailureSpec
 from repro.workloads import terasort
 
 
@@ -157,3 +157,62 @@ def test_facade_reexported_from_package_root():
     assert repro.Simulation is Simulation
     assert repro.RuntimeConfig is RuntimeConfig
     assert repro.TraceConfig is TraceConfig
+
+
+# ----------------------------------------------------------------------
+# SQL facade
+# ----------------------------------------------------------------------
+
+def _sql_fixture():
+    from repro.sql import Catalog, TableSchema
+    from repro.sql.catalog import _cols
+
+    catalog = Catalog()
+    catalog.register(TableSchema("t", _cols("x:int"), base_rows=3,
+                                 bytes_per_row=8))
+    return {"t": [{"x": 1}, {"x": 2}, {"x": 3}]}, catalog
+
+
+def test_run_sql_facade_reports_engine():
+    from repro.api import run_sql
+
+    database, catalog = _sql_fixture()
+    outcome = run_sql("select sum(x) as total from t", database,
+                      catalog=catalog)
+    assert outcome.rows == [{"total": 6}]
+    assert outcome.engine == "columnar"
+    assert outcome.requested == "auto"
+    forced = run_sql("select sum(x) as total from t", database,
+                     catalog=catalog, engine="row")
+    assert forced.rows == outcome.rows
+    assert forced.engine == "row"
+
+
+def test_sql_engine_for_facade():
+    from repro.api import sql_engine_for
+
+    database, catalog = _sql_fixture()
+    engine, reason = sql_engine_for("select x from t", database,
+                                    catalog=catalog)
+    assert engine == "columnar"
+    assert reason
+
+
+def test_run_sql_threads_observability():
+    from repro.api import MetricsRegistry, run_sql
+
+    database, catalog = _sql_fixture()
+    metrics = MetricsRegistry()
+    tracer = RecordingTracer()
+    run_sql("select count(*) as n from t", database, catalog=catalog,
+            metrics=metrics, tracer=tracer)
+    assert metrics.to_dict()["counters"]["sql_queries"] == 1
+    assert any(r.cat == "sql" for r in tracer.records)
+
+
+def test_sql_facade_reexported_from_package_root():
+    import repro
+    from repro.api import QueryOutcome, run_sql
+
+    assert repro.run_sql is run_sql
+    assert repro.QueryOutcome is QueryOutcome

@@ -1,0 +1,69 @@
+"""Unit tests for the bench regression gate (``repro bench --check``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.bench import CHECK_METRICS, compare_payloads
+
+
+def _payload(**speedups):
+    return {name: {"speedup": value} for name, value in speedups.items()}
+
+
+def test_identical_payloads_pass():
+    payload = _payload(terasort=3.0, q1_aggregate=6.0)
+    assert compare_payloads(payload, payload) == []
+
+
+def test_regression_beyond_tolerance_is_reported():
+    committed = _payload(q1_aggregate=8.0)
+    fresh = _payload(q1_aggregate=5.0)  # 37.5% drop > 25% tolerance
+    problems = compare_payloads(committed, fresh)
+    assert len(problems) == 1
+    assert "q1_aggregate.speedup" in problems[0]
+
+
+def test_drop_within_tolerance_passes():
+    committed = _payload(hash_join=4.0)
+    fresh = _payload(hash_join=3.2)  # 20% drop < 25% tolerance
+    assert compare_payloads(committed, fresh) == []
+
+
+def test_improvement_always_passes():
+    assert compare_payloads(_payload(terasort=2.0), _payload(terasort=9.0)) == []
+
+
+def test_custom_tolerance():
+    committed = _payload(filter_project=10.0)
+    fresh = _payload(filter_project=9.4)
+    assert compare_payloads(committed, fresh, tolerance=0.1) == []
+    assert compare_payloads(committed, fresh, tolerance=0.05)
+
+
+def test_missing_scenarios_are_skipped():
+    # An old committed file without the SQL scenarios compares cleanly.
+    committed = _payload(terasort=3.0)
+    fresh = _payload(terasort=3.0, q1_aggregate=6.0)
+    assert compare_payloads(committed, fresh) == []
+    assert compare_payloads(fresh, committed) == []
+
+
+def test_ungated_metrics_are_ignored():
+    committed = {"terasort": {"speedup": 3.0, "fast_tasks_per_s": 100.0}}
+    fresh = {"terasort": {"speedup": 3.0, "fast_tasks_per_s": 1.0}}
+    assert compare_payloads(committed, fresh) == []
+
+
+def test_invalid_tolerance_rejected():
+    with pytest.raises(ValueError):
+        compare_payloads({}, {}, tolerance=1.5)
+    with pytest.raises(ValueError):
+        compare_payloads({}, {}, tolerance=-0.1)
+
+
+def test_gated_metrics_are_relative_only():
+    # Absolute rates are host-dependent; the gate must only watch ratios.
+    for metrics in CHECK_METRICS.values():
+        assert all("per_s" not in metric and "ms" not in metric
+                   for metric in metrics)

@@ -44,6 +44,76 @@ def test_sql_command(capsys):
     assert "'c': 25" in out
 
 
+def test_sql_command_engine_flag(capsys):
+    for engine in ("row", "columnar"):
+        assert main([
+            "sql", "--query", "select count(*) c from nation",
+            "--scale", "1", "--machines", "4", "--execute",
+            "--engine", engine,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "'c': 25" in out
+        assert f"engine={engine}" in out
+
+
+def test_sql_command_reports_chosen_engine(capsys):
+    assert main([
+        "sql", "--query", "select count(*) c from nation",
+        "--scale", "1", "--machines", "4", "--execute",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "engine=columnar" in out
+
+
+def test_bench_parser_defaults():
+    args = build_parser().parse_args(["bench"])
+    assert args.suite == "all"
+    assert args.out == "BENCH_simulator.json"
+    assert args.sql_out == "BENCH_sql.json"
+    assert args.check is False
+    assert args.tolerance == 0.25
+
+
+def test_bench_check_reports_regression(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.cli import _cmd_bench
+    from repro.experiments import bench
+
+    committed = tmp_path / "BENCH_sql.json"
+    committed.write_text(json.dumps({"q1_aggregate": {"speedup": 100.0}}))
+    monkeypatch.setattr(
+        bench, "run_sql_benchmarks",
+        lambda quick, echo: {"q1_aggregate": {"speedup": 1.0}},
+    )
+    args = build_parser().parse_args([
+        "bench", "--suite", "sql", "--check",
+        "--sql-out", str(committed),
+    ])
+    assert _cmd_bench(args) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # The committed file was compared against, not overwritten.
+    assert json.loads(committed.read_text())["q1_aggregate"]["speedup"] == 100.0
+
+
+def test_bench_check_passes_and_skips_missing_file(tmp_path, capsys, monkeypatch):
+    from repro.cli import _cmd_bench
+    from repro.experiments import bench
+
+    monkeypatch.setattr(
+        bench, "run_sql_benchmarks",
+        lambda quick, echo: {"q1_aggregate": {"speedup": 5.0}},
+    )
+    args = build_parser().parse_args([
+        "bench", "--suite", "sql", "--check",
+        "--sql-out", str(tmp_path / "missing.json"),
+    ])
+    assert _cmd_bench(args) == 0
+    captured = capsys.readouterr()
+    assert "bench check passed" in captured.out
+    assert "no committed" in captured.err
+
+
 def test_replay_command(capsys):
     assert main(["replay", "--jobs", "30"]) == 0
     captured = capsys.readouterr()

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.dag import DAGValidationError, Edge, EdgeMode, Job, JobDAG, Stage
-from repro.core.operators import OperatorKind as K, ops
 
 from conftest import chain_dag, diamond_dag, make_stage
 

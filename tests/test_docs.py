@@ -5,7 +5,6 @@ from __future__ import annotations
 import pathlib
 import re
 
-import pytest
 
 README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
 DESIGN = README.parent / "DESIGN.md"

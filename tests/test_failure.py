@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.dag import Edge, JobDAG
+from repro.core.dag import JobDAG
 from repro.core.failure import (
     MachineHealthMonitor,
     RecoveryCase,
@@ -17,7 +17,7 @@ from repro.core.partition import partition_job
 from repro.sim.config import AdminConfig
 from repro.sim.failures import FailureKind
 
-from conftest import chain_dag, make_stage
+from conftest import chain_dag
 
 
 def two_graphlet_dag(idempotent: bool = True) -> JobDAG:

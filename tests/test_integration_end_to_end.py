@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import Cluster, Job, SwiftRuntime, swift_policy
 from repro.baselines import bubble_policy, jetscope_policy, spark_policy

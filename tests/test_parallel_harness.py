@@ -3,14 +3,15 @@
 from __future__ import annotations
 
 import json
-import os
 
 import pytest
 
+from repro.experiments import parallel
 from repro.experiments.parallel import (
     Cell,
     clear_memory_cache,
     default_jobs,
+    execution_plan,
     run_cell,
     run_cells,
     set_default_jobs,
@@ -104,3 +105,37 @@ def test_cache_env_enables_disk_cache(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     run_cell(_echo_cell("via-env"))
     assert len(list(tmp_path.iterdir())) == 1
+
+
+def test_execution_plan_fans_out_with_cpus(monkeypatch):
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 8)
+    assert execution_plan(3, jobs=3) == ("process-pool", 3)
+    # Capped by cell count and by CPU count.
+    assert execution_plan(2, jobs=16) == ("process-pool", 2)
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 4)
+    assert execution_plan(100, jobs=16) == ("process-pool", 4)
+
+
+def test_execution_plan_degrades_to_serial_on_one_cpu(monkeypatch):
+    # A --jobs 3 run on a single-CPU host must not pay pool spin-up.
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 1)
+    assert execution_plan(3, jobs=3) == ("serial", 1)
+
+
+def test_execution_plan_degrades_to_serial_for_few_cells(monkeypatch):
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 8)
+    assert execution_plan(1, jobs=8) == ("serial", 1)
+    assert execution_plan(0, jobs=8) == ("serial", 1)
+
+
+def test_execution_plan_uses_default_jobs(monkeypatch):
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 8)
+    set_default_jobs(4)
+    assert execution_plan(10) == ("process-pool", 4)
+    set_default_jobs(1)
+    assert execution_plan(10) == ("serial", 1)
+
+
+def test_execution_plan_rejects_invalid_jobs():
+    with pytest.raises(ValueError):
+        execution_plan(4, jobs=0)

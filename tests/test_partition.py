@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.dag import Edge, EdgeMode, JobDAG
+from repro.core.dag import Edge, JobDAG
 from repro.core.partition import (
     BubblePartitioner,
     StagePartitioner,

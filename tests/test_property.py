@@ -13,7 +13,7 @@ from repro.core.operators import OperatorKind as K, ops
 from repro.core.partition import BubblePartitioner, partition_job
 from repro.core.shuffle import ShuffleScheme, connection_count, select_scheme
 from repro.sim.cluster import Cluster
-from repro.sim.config import CacheWorkerConfig, DiskConfig, ShuffleConfig, SimConfig
+from repro.sim.config import CacheWorkerConfig, DiskConfig, ShuffleConfig
 from repro.core.cache_worker import CacheWorker
 from repro.sim.disk import DiskModel
 from repro.sim.engine import Simulator

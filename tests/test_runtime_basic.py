@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.dag import Edge, Job, JobDAG
-from repro.core.policies import SubmissionOrder, swift_policy
-from repro.core.runtime import SwiftRuntime, TaskState
+from repro.core.dag import JobDAG
+from repro.core.policies import swift_policy
+from repro.core.runtime import SwiftRuntime
 from repro.sim.cluster import Cluster, ExecutorState
 
 from conftest import as_job, chain_dag, diamond_dag, make_stage

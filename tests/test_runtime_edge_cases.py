@@ -4,11 +4,10 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.baselines import bubble_policy, spark_policy
 from repro.core.dag import Edge, Job, JobDAG
-from repro.core.policies import SubmissionOrder, swift_policy
+from repro.core.policies import swift_policy
 from repro.core.runtime import SwiftRuntime, TaskState
 from repro.sim.cluster import Cluster
 from repro.sim.failures import FailureKind, FailurePlan, FailureSpec

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.cache_worker import CacheWorker
 from repro.core.policies import swift_policy

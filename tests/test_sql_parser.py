@@ -7,7 +7,6 @@ import pytest
 from repro.sql import FIG1_QUERY
 from repro.sql.ast import (
     BinaryOp,
-    ColumnRef,
     FunctionCall,
     Literal,
     Star,

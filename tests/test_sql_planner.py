@@ -23,7 +23,7 @@ from repro.sql.logical import (
     scans_in,
 )
 from repro.sql.parser import parse
-from repro.sql.physical import PhysicalPlanner, compile_sql
+from repro.sql.physical import compile_sql
 
 
 def plan(sql):
