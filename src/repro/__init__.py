@@ -25,12 +25,16 @@ Sub-packages:
 * :mod:`repro.sql` — the SQL-like front end (Fig. 1) plus two answer
   engines: a row-level executor and a vectorized columnar engine behind
   an adaptive dispatcher (:func:`repro.api.run_sql`).
+* :mod:`repro.chaos` — deterministic chaos engine: seeded multi-failure
+  campaigns, invariant checking, recovery watchdogs, and seed shrinking.
 * :mod:`repro.workloads` — TPC-H, Terasort, and trace-calibrated workloads.
 * :mod:`repro.baselines` — Spark, JetScope, and Bubble Execution models.
 * :mod:`repro.experiments` — harnesses regenerating every table/figure.
 """
 
 from .api import (
+    ChaosEngine,
+    ChaosReport,
     QueryOutcome,
     Runtime,
     RuntimeConfig,
@@ -77,6 +81,8 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosEngine",
+    "ChaosReport",
     "Cluster",
     "Edge",
     "EdgeMode",

@@ -17,6 +17,7 @@ code and the docs use this facade::
     print(outcome.makespan, len(outcome.trace))
 """
 
+from ..chaos import Campaign, CampaignResult, ChaosEngine, ChaosReport
 from ..core.dag import Edge, EdgeMode, Job, JobDAG, Stage
 from ..core.metrics import JobMetrics, PhaseBreakdown, TaskTiming
 from ..core.policies import (
@@ -41,6 +42,10 @@ from .simulation import Simulation, SimulationResult, TraceConfig, Runtime
 from .sql import QueryOutcome, run_sql, sql_engine_for
 
 __all__ = [
+    "Campaign",
+    "CampaignResult",
+    "ChaosEngine",
+    "ChaosReport",
     "Edge",
     "EdgeMode",
     "ExecutionPolicy",

@@ -34,6 +34,7 @@ from ..sim.config import (
     DiskConfig,
     ExecutorConfig,
     NetworkConfig,
+    RetryConfig,
     ShuffleConfig,
     SimConfig,
 )
@@ -118,6 +119,7 @@ def _sim_config_from_dict(payload: Mapping[str, Any]) -> SimConfig:
         shuffle=ShuffleConfig(**payload.get("shuffle", {})),
         admin=AdminConfig(**admin_payload),
         executor=ExecutorConfig(**payload.get("executor", {})),
+        retry=RetryConfig(**payload.get("retry", {})),
         **top,
     )
 
@@ -132,6 +134,7 @@ def _failure_plan_to_list(plan: FailurePlan) -> list[dict[str, Any]]:
             "at_time": spec.at_time,
             "at_fraction": spec.at_fraction,
             "job_id": spec.job_id,
+            "duration": spec.duration,
         }
         for spec in plan.specs
     ]
@@ -149,6 +152,7 @@ def _failure_plan_from_list(items: list[Mapping[str, Any]]) -> FailurePlan:
                 at_time=item.get("at_time"),
                 at_fraction=item.get("at_fraction"),
                 job_id=item.get("job_id"),
+                duration=item.get("duration"),
             )
         )
     return plan

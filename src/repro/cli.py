@@ -20,6 +20,10 @@ Commands
     row/columnar/auto).
 ``replay [--n-jobs N]``
     Replay a trace against Swift, Bubble Execution, and JetScope.
+``chaos [--seed N] [--runs N] [--workload W] [--profile P] [--jobs N]``
+    Run seeded randomized multi-failure campaigns against a workload,
+    check recovery invariants after every run, and shrink any violation
+    to a minimal replayable JSON repro (``--replay PATH`` re-runs one).
 ``trace <experiment> [--out PATH] [--format chrome|jsonl|both]``
     Run one experiment's workload with structured tracing enabled and
     export the records (Chrome ``trace_event`` JSON loads directly in
@@ -248,6 +252,34 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos import ChaosEngine
+    from .experiments.parallel import default_jobs
+
+    _apply_parallel_options(args)
+    engine = ChaosEngine(
+        workload=args.workload, profile=args.profile, out_dir=args.out
+    )
+    if args.replay:
+        result = engine.replay(args.replay)
+        status = "PASS" if result.passed else "FAIL"
+        print(f"replay {args.replay}: {status} "
+              f"(makespan {result.makespan:.1f}s, "
+              f"baseline {result.baseline_makespan:.1f}s)")
+        for violation in result.violations:
+            print(f"  [{violation.invariant}] {violation.message}")
+        return 0 if result.passed else 1
+    seeds = range(args.seed, args.seed + args.runs)
+    report = engine.sweep(seeds, jobs=default_jobs(), shrink=not args.no_shrink)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_summary())
+    return 0 if report.ok else 1
+
+
 def _print_simulator_summary(payload: dict) -> None:
     terasort = payload["terasort"]
     print(f"event engine: {payload['event_engine']['events_per_s']:,.0f} events/s")
@@ -262,6 +294,10 @@ def _print_simulator_summary(payload: dict) -> None:
     print(f"parallel replay [{replay['mode']}]: serial {replay['serial_s']:.2f}s "
           f"-> {replay['effective_workers']} worker(s) {replay['parallel_s']:.2f}s "
           f"({replay['speedup']:.2f}x)")
+    chaos = payload.get("chaos_smoke")
+    if chaos:
+        print(f"chaos smoke: {chaos['passed']}/{chaos['runs']} campaigns "
+              f"passed in {chaos['best_ms']:.0f}ms")
 
 
 def _print_sql_summary(payload: dict) -> None:
@@ -453,6 +489,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sql.add_argument("--batch-size", type=int, default=4096, metavar="N",
                        help="columnar batch size (default 4096)")
     p_sql.set_defaults(func=_cmd_sql)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="randomized multi-failure campaigns with invariant checking",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="first campaign seed (default 0)")
+    p_chaos.add_argument("--runs", type=int, default=20, metavar="N",
+                         help="campaigns to run: seeds seed..seed+N-1 "
+                              "(default 20)")
+    p_chaos.add_argument("--workload", default="terasort",
+                         choices=("terasort", "tpch-q13", "trace"),
+                         help="workload to inject into (default terasort)")
+    p_chaos.add_argument("--profile", default="standard",
+                         choices=("light", "standard", "hostile"),
+                         help="failure hostility profile (default standard)")
+    p_chaos.add_argument("--no-shrink", action="store_true",
+                         help="report violations without minimizing them")
+    p_chaos.add_argument("--replay", metavar="PATH",
+                         help="re-run a saved JSON repro instead of sweeping")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the full ChaosReport as JSON")
+    _add_output_option(p_chaos, default="chaos_repros",
+                       what="repro files in this directory")
+    _add_parallel_options(p_chaos)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_replay = sub.add_parser("replay", help="trace replay vs baselines")
     p_replay.add_argument("--n-jobs", type=int, default=250, dest="n_jobs",

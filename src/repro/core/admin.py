@@ -122,3 +122,20 @@ class SwiftAdmin:
         if flagged:
             self.stats.machines_marked_read_only += 1
         return flagged
+
+    def quarantine_machine(self, machine_id: int) -> bool:
+        """Explicitly quarantine a machine (chaos / operator action).
+
+        Returns True when this starts a new quarantine episode; the
+        ``machines_marked_read_only`` counter increments exactly once per
+        episode, however the episode began.
+        """
+        started = self.health.quarantine(machine_id)
+        if started:
+            self.stats.machines_marked_read_only += 1
+        return started
+
+    def record_machine_recovered(self, machine_id: int) -> bool:
+        """End a quarantine episode: clear the read-only flag and failure
+        history so a later quarantine counts as a fresh episode."""
+        return self.health.recover(machine_id)

@@ -162,6 +162,17 @@ class CacheWorker:
             return True
         return False
 
+    def drop_all(self) -> list[CacheEntry]:
+        """Lose every entry at once (Cache Worker process death).
+
+        Returns the lost entries so the runtime can re-run their producers;
+        spill counters survive (they describe the dead process's history).
+        """
+        lost = list(self._entries.values())
+        self._entries.clear()
+        self.bytes_in_memory = 0.0
+        return lost
+
     def release_job(self, job_id: str) -> None:
         """Drop all entries of a job (job completion or restart)."""
         for key in [k for k in self._entries if k[0] == job_id]:

@@ -27,6 +27,8 @@ class EventKind(enum.Enum):
     FAILURE_INJECTED = "failure_injected"
     TASK_RECOVERED = "task_recovered"
     MACHINE_QUARANTINED = "machine_quarantined"
+    MACHINE_RECOVERED = "machine_recovered"
+    CACHE_WORKER_LOST = "cache_worker_lost"
 
 
 @dataclass(frozen=True)

@@ -160,7 +160,15 @@ def detection_delay(
     tracking); machine crashes are caught by the next heartbeat, i.e. after
     ``heartbeat_phase`` of the interval on average.
     """
-    if kind in (FailureKind.TASK_CRASH, FailureKind.PROCESS_RESTART, FailureKind.APPLICATION_ERROR):
+    if kind in (
+        FailureKind.TASK_CRASH,
+        FailureKind.PROCESS_RESTART,
+        FailureKind.APPLICATION_ERROR,
+        # Quarantine is an Admin-side decision and Cache Worker death is
+        # self-reported by the host machine's agent — both surface fast.
+        FailureKind.MACHINE_QUARANTINE,
+        FailureKind.CACHE_WORKER_LOSS,
+    ):
         return admin.self_report_latency
     if kind == FailureKind.MACHINE_CRASH:
         if not 0 <= heartbeat_phase <= 1:
@@ -194,5 +202,22 @@ class MachineHealthMonitor:
             and len(history) >= self.admin.unhealthy_task_failures
         ):
             self.read_only.add(machine_id)
+            return True
+        return False
+
+    def quarantine(self, machine_id: int) -> bool:
+        """Force a machine read-only (chaos / operator action); returns True
+        when it was not already quarantined."""
+        if machine_id in self.read_only:
+            return False
+        self.read_only.add(machine_id)
+        return True
+
+    def recover(self, machine_id: int) -> bool:
+        """Clear a machine's read-only flag and failure history so a new
+        quarantine episode can begin; returns True when it was read-only."""
+        self._failures.pop(machine_id, None)
+        if machine_id in self.read_only:
+            self.read_only.discard(machine_id)
             return True
         return False

@@ -89,6 +89,18 @@ class JobMetrics:
     restarts: int = 0
     #: Scheme actually used per edge key ("src->dst").
     shuffle_schemes: dict[str, str] = field(default_factory=dict)
+    #: Recovery-path accounting (Section IV-B), reconciled against the
+    #: RecoveryDecisions the planner produced (tests/test_runtime_failures.py).
+    recoveries_by_case: dict[str, int] = field(default_factory=dict)
+    #: Same-graphlet predecessors asked to re-send cached shuffle data.
+    resends: int = 0
+    #: Failures that needed no action (idempotent + output fully consumed).
+    noop_recoveries: int = 0
+    #: Task instances actually re-launched by recovery.
+    task_reruns: int = 0
+    #: Task instances the RecoveryDecisions planned to re-run (upper bound
+    #: for ``task_reruns``; the bounded-recovery invariant).
+    planned_rerun_tasks: int = 0
 
     @property
     def latency(self) -> float:

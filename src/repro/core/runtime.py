@@ -162,6 +162,8 @@ class JobResult:
     metrics: JobMetrics
     completed: bool = True
     failed: bool = False
+    #: Human-readable cause when ``failed`` (retry budget, app error, ...).
+    reason: str = ""
 
     @property
     def latency(self) -> float:
@@ -1243,7 +1245,27 @@ class SwiftRuntime:
 
         if spec.kind == FailureKind.APPLICATION_ERROR:
             # Useless recovery: report to the Job Monitor, fail the job.
-            self.sim.schedule_at(detect_t, self._fail_job, job_run)
+            metrics = job_run.metrics
+            metrics.recoveries_by_case["useless"] = (
+                metrics.recoveries_by_case.get("useless", 0) + 1
+            )
+            self.sim.schedule_at(
+                detect_t, self._fail_job, job_run,
+                "application_error: reported to job monitor, not retried "
+                "(useless recovery)",
+            )
+            return
+
+        if spec.kind == FailureKind.MACHINE_QUARANTINE:
+            machine = self.cluster.machines[spec.machine_id or 0]
+            self.sim.schedule_at(
+                detect_t, self._quarantine_machine, machine, spec.duration, job_id
+            )
+            return
+
+        if spec.kind == FailureKind.CACHE_WORKER_LOSS:
+            machine = self.cluster.machines[spec.machine_id or 0]
+            self.sim.schedule_at(detect_t, self._on_cache_worker_lost, machine, job_id)
             return
 
         if spec.kind == FailureKind.MACHINE_CRASH:
@@ -1263,11 +1285,20 @@ class SwiftRuntime:
                     # its completion until recovery re-runs it.
                     inst.finish_time = math.inf
             if self.policy.recovery == FailureRecovery.JOB_RESTART:
-                self.sim.schedule_at(detect_t, self._restart_job, job_run)
-            else:
+                # Restart every job that lost an in-flight task, not just the
+                # one the spec targeted: a machine death is cluster-wide.
+                affected = {id(job_run): job_run}
                 for inst in victims:
-                    if inst.stage_run.job_run is job_run:
-                        self.sim.schedule_at(detect_t, self._recover_task, inst)
+                    jr = inst.stage_run.job_run
+                    affected.setdefault(id(jr), jr)
+                for jr in affected.values():
+                    self.sim.schedule_at(detect_t, self._restart_job, jr)
+            else:
+                # Recover victims of *all* jobs: suspending a victim clears
+                # its executor, so a later injection of the same crash for
+                # another job would no longer find it.
+                for inst in victims:
+                    self.sim.schedule_at(detect_t, self._recover_task, inst)
             return
 
         instance = self._find_target_instance(job_run, spec)
@@ -1329,15 +1360,102 @@ class SwiftRuntime:
                 return sr.instances[0]
         return None
 
-    def _fail_job(self, job_run: JobRun) -> None:
+    def _quarantine_machine(
+        self, machine, duration: Optional[float], job_id: str
+    ) -> None:
+        """Admin-side quarantine (Section IV-A): the machine goes read-only,
+        running tasks drain, and ``duration`` seconds later it recovers."""
+        if not machine.alive:
+            return
+        started = self.admin.quarantine_machine(machine.machine_id)
+        machine.mark_read_only()
+        if started:
+            self.events.record(
+                self.sim.now, EventKind.MACHINE_QUARANTINED, job_id,
+                f"machine {machine.machine_id}",
+            )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.FAILURE, "machine.quarantined", self.sim.now,
+                    job_id, scope=f"machine{machine.machine_id}",
+                    duration=duration,
+                )
+        if duration is not None:
+            self.sim.schedule(duration, self._recover_machine, machine, job_id)
+
+    def _recover_machine(self, machine, job_id: str) -> None:
+        """End a quarantine episode: the machine accepts tasks again."""
+        if not machine.alive:
+            return
+        recovered = self.admin.record_machine_recovered(machine.machine_id)
+        machine.mark_healthy()
+        if recovered:
+            self.events.record(
+                self.sim.now, EventKind.MACHINE_RECOVERED, job_id,
+                f"machine {machine.machine_id}",
+            )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.RECOVERY, "machine.recovered", self.sim.now,
+                    job_id, scope=f"machine{machine.machine_id}",
+                )
+        # Returned capacity may satisfy queued gang requests.
+        self._pump_scheduler()
+
+    def _on_cache_worker_lost(self, machine, job_id: str) -> None:
+        """A Cache Worker dies, losing all shuffle data it held.
+
+        Producers of edges whose consumers have not finished reading must
+        re-generate and re-write the data (the OUTPUT_FAILURE path of
+        Section IV-B, applied per lost entry).
+        """
+        worker: Optional[CacheWorker] = machine.cache_worker
+        if worker is None:
+            return
+        lost = worker.drop_all()
+        self.events.record(
+            self.sim.now, EventKind.CACHE_WORKER_LOST, job_id,
+            f"machine {machine.machine_id} ({len(lost)} entries)",
+        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                Category.FAILURE, "cache_worker.lost", self.sim.now, job_id,
+                scope=f"machine{machine.machine_id}", entries=len(lost),
+            )
+        for entry in lost:
+            entry_job_id, edge_key = entry.key
+            job_run = self.job_runs.get(entry_job_id)
+            if job_run is None or job_run.done or job_run.aborted or job_run.failed:
+                continue
+            src, _, dst = edge_key.partition("->")
+            producer_sr = job_run.stage_runs.get(src)
+            consumer_sr = job_run.stage_runs.get(dst)
+            if producer_sr is None or consumer_sr is None or consumer_sr.completed:
+                continue
+            # The dead worker can no longer serve reads for this edge.
+            machines = self._edge_cw_machines.get((entry_job_id, edge_key))
+            if machines and machine.machine_id in machines:
+                machines.remove(machine.machine_id)
+            # Re-generate: recover one finished producer task, which re-runs
+            # it and propagates the delay to the waiting consumers.
+            victim = next(
+                (i for i in producer_sr.instances if i.state == TaskState.FINISHED),
+                None,
+            )
+            if victim is not None:
+                self._recover_task(victim)
+
+    def _fail_job(self, job_run: JobRun, reason: str = "") -> None:
         if job_run.done or job_run.failed:
             return
         job_run.failed = True
-        self.events.record(self.sim.now, EventKind.JOB_FAILED, job_run.job.job_id)
+        self.events.record(
+            self.sim.now, EventKind.JOB_FAILED, job_run.job.job_id, reason
+        )
         if self.tracer.enabled:
             self.tracer.instant(
                 Category.JOB, "job.failed", self.sim.now, job_run.job.job_id,
-                attempt=job_run.attempt,
+                attempt=job_run.attempt, reason=reason,
             )
         self._release_job_resources(job_run)
         job_run.metrics.finish_time = self.sim.now
@@ -1348,6 +1466,7 @@ class SwiftRuntime:
                 metrics=job_run.metrics,
                 completed=False,
                 failed=True,
+                reason=reason,
             )
         )
 
@@ -1432,7 +1551,12 @@ class SwiftRuntime:
             output_fully_consumed=self._output_consumed(sr),
             has_executed=has_executed,
         )
+        metrics = job_run.metrics
+        metrics.recoveries_by_case[decision.case.value] = (
+            metrics.recoveries_by_case.get(decision.case.value, 0) + 1
+        )
         if decision.noop:
+            metrics.noop_recoveries += 1
             self.events.record(
                 self.sim.now, EventKind.TASK_RECOVERED, job_run.job.job_id,
                 f"{sr.name}[{inst.index}] noop ({decision.case.value})",
@@ -1444,6 +1568,15 @@ class SwiftRuntime:
                     task=inst.index, case=decision.case.value,
                 )
             return
+        metrics.resends += len(decision.resend_from)
+        # The plan's re-run budget: the failed task plus every non-pending
+        # instance of the other stages the decision drags in.
+        metrics.planned_rerun_tasks += 1 + sum(
+            sum(1 for i in job_run.stage_runs[name].instances
+                if i.state != TaskState.PENDING)
+            for name in decision.rerun_stages
+            if name != sr.name
+        )
         resend_delay = 0.0
         for pred_name in decision.resend_from:
             pred = job_run.dag.stage(pred_name)
@@ -1452,6 +1585,9 @@ class SwiftRuntime:
         base = self.sim.now + resend_delay
         # Re-run the failed task itself.
         new_finish = self._rerun_instance(inst, base)
+        if new_finish is None:
+            # Retry budget exhausted; the job has been failed.
+            return
         self.events.record(
             self.sim.now, EventKind.TASK_RECOVERED, job_run.job.job_id,
             f"{sr.name}[{inst.index}] rerun ({decision.case.value})",
@@ -1477,20 +1613,42 @@ class SwiftRuntime:
                 if succ_inst.state == TaskState.PENDING:
                     continue
                 finish = self._rerun_instance(succ_inst, gate)
+                if finish is None:
+                    return
                 stage_finish = max(stage_finish, finish)
             new_finish = stage_finish
         self._propagate_delays(sr)
 
-    def _rerun_instance(self, inst: TaskInstance, not_before: float) -> float:
-        """Re-execute ``inst`` in place; returns its new finish time."""
+    def _rerun_instance(self, inst: TaskInstance, not_before: float) -> Optional[float]:
+        """Re-execute ``inst`` in place; returns its new finish time.
+
+        Each re-run consumes one unit of the task's retry budget and pays an
+        exponential backoff (with deterministic jitter drawn from the
+        simulator rng).  When the budget is exhausted the job is failed with
+        a clear reason and ``None`` is returned.
+        """
         sr = inst.stage_run
+        retry = self.config.retry
+        if inst.attempt + 1 > retry.max_task_retries:
+            self._fail_job(
+                sr.job_run,
+                reason=(
+                    f"retry budget exhausted: task {sr.name}[{inst.index}] "
+                    f"failed {inst.attempt + 1} times "
+                    f"(max_task_retries={retry.max_task_retries})"
+                ),
+            )
+            return None
         inst.attempt += 1
         was_finished = inst.state == TaskState.FINISHED
         if was_finished:
             sr.n_finalized -= 1
             sr.completed = False
         inst.state = TaskState.DISPATCHED
-        relaunch = self.config.executor.prelaunched_overhead
+        sr.job_run.metrics.task_reruns += 1
+        backoff = retry.backoff(inst.attempt)
+        backoff += backoff * retry.jitter_frac * self.sim.rng.random()
+        relaunch = self.config.executor.prelaunched_overhead + backoff
         # Recovery re-dispatches a cached plan (Plan Handler hit); only a
         # never-before-dispatched task pays plan generation again.
         if not self.admin.plan_cached(sr.job_run.job.job_id, sr.name):

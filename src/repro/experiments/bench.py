@@ -18,6 +18,9 @@ against the legacy kernel measured in the same file:
 * **tracing** — Terasort simulation rate with the tracer disabled (the
   null-tracer hook threaded through the hot paths) vs recording every
   span; the disabled overhead is the guarded <2% regression budget.
+* **chaos_smoke** — a fixed-seed chaos sweep (Terasort, standard
+  profile): campaign throughput plus the invariant pass fraction, which
+  is gated so a recovery regression fails ``repro bench --check``.
 
 All timings are min-of-rounds ``perf_counter`` measurements; min (not
 mean) is the standard way to suppress scheduler noise on shared machines.
@@ -169,6 +172,32 @@ def bench_tracing(m: int = 100, n: int = 100, rounds: int = 5) -> dict[str, floa
         "disabled_tasks_per_s": tasks / off_s,
         "recording_tasks_per_s": tasks / on_s,
         "recording_overhead_pct": 100.0 * (on_s / off_s - 1.0),
+    }
+
+
+def bench_chaos_smoke(runs: int = 10, rounds: int = 1) -> dict[str, float]:
+    """Fixed-seed chaos sweep: campaign throughput plus pass fraction.
+
+    The pass fraction doubles as a correctness gate: campaigns are fully
+    deterministic, so any drop means a recovery-path regression, not
+    timer noise.
+    """
+    from ..chaos import ChaosEngine
+
+    def scenario() -> object:
+        engine = ChaosEngine(workload="terasort", profile="standard")
+        return engine.sweep(range(runs), shrink=False)
+
+    elapsed, report = _min_time(scenario, rounds)
+    passed = report.passed  # type: ignore[union-attr]
+    return {
+        "workload": "terasort",
+        "profile": "standard",
+        "runs": runs,
+        "passed": passed,
+        "passed_fraction": passed / runs,
+        "best_ms": 1e3 * elapsed,
+        "campaigns_per_s": runs / elapsed,
     }
 
 
@@ -385,6 +414,9 @@ def write_sql_bench_file(
 #: absolute event/row rates vary too much across hosts to gate on.
 CHECK_METRICS: dict[str, tuple[str, ...]] = {
     "terasort": ("speedup",),
+    # Deterministic invariant pass fraction — a correctness gate, immune
+    # to host speed, so it rides the same relative-drop machinery.
+    "chaos_smoke": ("passed_fraction",),
     "parallel_replay": ("speedup",),
     "q1_aggregate": ("speedup",),
     "filter_project": ("speedup",),
@@ -457,6 +489,8 @@ def run_benchmarks(
     payload["parallel_replay"] = bench_parallel_replay(
         n_jobs=60 if quick else 120
     )
+    say("chaos smoke sweep ...")
+    payload["chaos_smoke"] = bench_chaos_smoke(runs=5 if quick else 10)
     return payload
 
 

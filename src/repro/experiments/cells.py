@@ -319,3 +319,22 @@ def cache_capacity_cell(capacity_gb: float, n_jobs: int) -> dict[str, float]:
         "mean_latency_s": mean_latency(results),
         "spill_events": spills,
     }
+
+
+def chaos_campaign_cell(
+    seed: int,
+    workload: str,
+    profile: str,
+    shrink: bool = True,
+    out_dir: "str | None" = None,
+) -> dict[str, object]:
+    """One chaos campaign: generate from ``seed``, inject, check, shrink.
+
+    The cell regenerates everything from its kwargs (campaigns are a
+    deterministic function of seed/workload/profile), so the spec-hash
+    cache and process-pool fan-out both apply to chaos sweeps.
+    """
+    from ..chaos import ChaosEngine
+
+    engine = ChaosEngine(workload=workload, profile=profile, out_dir=out_dir)
+    return engine.run_seed(seed, shrink=shrink).to_dict()

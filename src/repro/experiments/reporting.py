@@ -208,6 +208,15 @@ def build_report(quick: bool = False, echo: Callable[[str], None] | None = None)
         "files without overwriting them, failing on >25% regressions of "
         "the gated speedups.",
         "",
+        "Fault-tolerance results are additionally stress-tested by the "
+        "chaos engine: `python -m repro chaos --runs 200 --seed 0` sweeps "
+        "seeded multi-failure campaigns and checks recovery invariants "
+        "after every run.  A violated campaign is shrunk to a minimal "
+        "repro and saved as JSON; replay it exactly with `python -m repro "
+        "chaos --replay chaos_repros/<file>.json` (campaigns are fully "
+        "deterministic, so the replay reproduces the violation bit for "
+        "bit).  See README's \"Fault tolerance & chaos\" section.",
+        "",
     ]
     for section in sections:
         if echo:

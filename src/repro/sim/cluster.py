@@ -163,6 +163,14 @@ class Machine:
             self._withdraw_from_pool()
             self.state = MachineState.READ_ONLY
 
+    def mark_healthy(self) -> None:
+        """Recover a quarantined/unhealthy machine: accept tasks again and
+        return its idle executors to the cluster pool."""
+        if self.state in (MachineState.READ_ONLY, MachineState.UNHEALTHY):
+            self.state = MachineState.HEALTHY
+            if self._cluster is not None:
+                self._cluster._free_count += self.idle_count
+
     def mark_dead(self) -> None:
         """Kill the machine and revoke all of its executors."""
         if self.state != MachineState.DEAD:

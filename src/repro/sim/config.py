@@ -181,6 +181,47 @@ class AdminConfig:
 
 
 @dataclass
+class RetryConfig:
+    """Budgeted task re-runs with exponential backoff.
+
+    Failure recovery re-runs a failed task at most ``max_task_retries``
+    times; the next failure of the same task escalates to a job failure
+    with an explicit reason instead of retrying forever.  Each re-run
+    waits ``backoff_base * backoff_factor**(attempt-1)`` seconds (capped
+    at ``backoff_cap``) plus a deterministic jitter drawn from the
+    simulation RNG, so hot recovery loops spread out reproducibly.
+    """
+
+    #: Attempts beyond the first run before the job is failed.
+    max_task_retries: int = 4
+    #: Backoff before the first re-run, seconds.
+    backoff_base: float = 0.2
+    #: Multiplier applied per additional attempt.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff wait, seconds.
+    backoff_cap: float = 20.0
+    #: Jitter as a fraction of the backoff (uniform in [0, frac * wait]).
+    jitter_frac: float = 0.25
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic (pre-jitter) backoff before re-run ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        return min(self.backoff_cap, self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range values."""
+        if self.max_task_retries < 1:
+            raise ValueError("max_task_retries must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff must satisfy 0 <= base <= cap")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0 <= self.jitter_frac <= 1:
+            raise ValueError("jitter_frac must be in [0, 1]")
+
+
+@dataclass
 class ExecutorConfig:
     """Executor launch model.
 
@@ -214,6 +255,7 @@ class SimConfig:
     shuffle: ShuffleConfig = field(default_factory=ShuffleConfig)
     admin: AdminConfig = field(default_factory=AdminConfig)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    retry: RetryConfig = field(default_factory=RetryConfig)
     #: Default executors per machine ("dozens or hundreds ... on each machine").
     executors_per_machine: int = 32
     #: Processing throughput of one task in bytes/second of input consumed.
@@ -232,6 +274,7 @@ class SimConfig:
         self.shuffle.validate()
         self.admin.validate()
         self.executor.validate()
+        self.retry.validate()
         if self.executors_per_machine < 1:
             raise ValueError("executors_per_machine must be >= 1")
         if self.task_processing_rate <= 0:
@@ -247,6 +290,7 @@ class SimConfig:
             shuffle=dataclasses.replace(self.shuffle),
             admin=dataclasses.replace(self.admin),
             executor=dataclasses.replace(self.executor),
+            retry=dataclasses.replace(self.retry),
         )
         for key, value in overrides.items():
             if not hasattr(clone, key):

@@ -216,3 +216,15 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue (O(1))."""
         return self._live
+
+    def clear_pending(self) -> int:
+        """Cancel every queued event; returns how many were still live.
+
+        Used by watchdogs (``repro.chaos``) that abandon a run after a
+        deadline: the queue is emptied so the simulator can be inspected or
+        discarded without draining stale callbacks.
+        """
+        abandoned = self._live
+        self._queue.clear()
+        self._live = 0
+        return abandoned

@@ -21,7 +21,7 @@ from typing import Optional
 
 
 class FailureKind(enum.Enum):
-    """The failure classes of Section IV."""
+    """The failure classes of Section IV (plus chaos-only hostile events)."""
     #: A task process crashes; recoverable by re-running the task.
     TASK_CRASH = "task_crash"
     #: An executor process dies and is re-launched; detected by self-report.
@@ -31,6 +31,12 @@ class FailureKind(enum.Enum):
     #: Application-logic failure (memory access violation, missing table);
     #: re-running does not help (Section IV-C).
     APPLICATION_ERROR = "application_error"
+    #: The Admin marks a machine read-only (Section IV-A): running tasks
+    #: drain, no new tasks land there.  ``duration`` schedules recovery.
+    MACHINE_QUARANTINE = "machine_quarantine"
+    #: A Cache Worker process dies, losing all shuffle data it held; the
+    #: producers of in-flight edges must re-generate and re-write it.
+    CACHE_WORKER_LOSS = "cache_worker_loss"
 
 
 @dataclass
@@ -54,17 +60,42 @@ class FailureSpec:
     at_fraction: Optional[float] = None
     #: Job id for multi-job replays; ``None`` targets the only job.
     job_id: Optional[str] = None
+    #: For MACHINE_QUARANTINE: seconds until the machine recovers (``None``
+    #: keeps it quarantined for the rest of the run).
+    duration: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if (self.at_time is None) == (self.at_fraction is None):
-            raise ValueError("exactly one of at_time / at_fraction must be set")
+        self.validate()
+
+    def validate(self) -> "FailureSpec":
+        """Raise a loud ``ValueError`` for a mis-specified failure.
+
+        Exactly one of ``at_time`` / ``at_fraction`` must be set.  This is
+        checked at construction, but specs are mutable — re-validate after
+        editing fields in place (``FailurePlan.add`` does so for you).
+        """
+        if self.at_time is None and self.at_fraction is None:
+            raise ValueError(
+                f"FailureSpec({self.kind.value}): neither at_time nor "
+                "at_fraction is set; exactly one is required"
+            )
+        if self.at_time is not None and self.at_fraction is not None:
+            raise ValueError(
+                f"FailureSpec({self.kind.value}): both at_time={self.at_time} "
+                f"and at_fraction={self.at_fraction} are set; exactly one is "
+                "allowed"
+            )
         if self.at_fraction is not None and self.at_fraction < 0:
             raise ValueError("at_fraction must be non-negative")
         if self.at_time is not None and self.at_time < 0:
             raise ValueError("at_time must be non-negative")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive when set")
+        return self
 
     def resolve_time(self, reference_duration: float) -> float:
         """Return the absolute injection time given a reference duration."""
+        self.validate()
         if self.at_time is not None:
             return self.at_time
         assert self.at_fraction is not None
@@ -80,8 +111,8 @@ class FailurePlan:
     specs: list[FailureSpec] = field(default_factory=list)
 
     def add(self, spec: FailureSpec) -> "FailurePlan":
-        """Append one failure; returns self for chaining."""
-        self.specs.append(spec)
+        """Append one failure (re-validated); returns self for chaining."""
+        self.specs.append(spec.validate())
         return self
 
     def for_job(self, job_id: str) -> list[FailureSpec]:

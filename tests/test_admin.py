@@ -73,6 +73,43 @@ def test_health_monitor_window_expiry():
         assert admin.record_task_failure(3, now=i * (window + 1)) is False
 
 
+def test_quarantine_episode_counts_exactly_once():
+    admin = make_admin()
+    assert admin.quarantine_machine(5) is True
+    assert admin.stats.machines_marked_read_only == 1
+    # Re-quarantining inside the same episode does not double-count.
+    assert admin.quarantine_machine(5) is False
+    assert admin.stats.machines_marked_read_only == 1
+    assert 5 in admin.health.read_only
+
+
+def test_recover_then_requarantine_starts_new_episode():
+    admin = make_admin()
+    admin.quarantine_machine(5)
+    assert admin.record_machine_recovered(5) is True
+    assert 5 not in admin.health.read_only
+    assert admin.quarantine_machine(5) is True
+    assert admin.stats.machines_marked_read_only == 2
+
+
+def test_recover_unquarantined_machine_is_noop():
+    admin = make_admin()
+    assert admin.record_machine_recovered(3) is False
+    assert admin.stats.machines_marked_read_only == 0
+
+
+def test_recovery_clears_failure_history():
+    admin = make_admin()
+    threshold = admin.config.unhealthy_task_failures
+    for i in range(threshold):
+        admin.record_task_failure(7, now=float(i))
+    assert 7 in admin.health.read_only
+    admin.record_machine_recovered(7)
+    # One more failure is far below the burst threshold again.
+    assert admin.record_task_failure(7, now=float(threshold)) is False
+    assert 7 not in admin.health.read_only
+
+
 def test_status_counters():
     admin = make_admin()
     admin.record_status_report()

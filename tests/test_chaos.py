@@ -1,0 +1,137 @@
+"""Tests for the chaos engine: campaigns, invariants, shrinking, repros."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    Campaign,
+    ChaosEngine,
+    PROFILES,
+    generate_campaign,
+)
+from repro.core.failure import RecoveryCase, RecoveryDecision
+
+
+def test_campaign_generation_is_deterministic():
+    a = generate_campaign(7, "terasort", PROFILES["standard"], 8)
+    b = generate_campaign(7, "terasort", PROFILES["standard"], 8)
+    assert a.to_dict() == b.to_dict()
+    c = generate_campaign(8, "terasort", PROFILES["standard"], 8)
+    assert a.to_dict() != c.to_dict()
+
+
+def test_campaign_round_trips_through_json(tmp_path):
+    campaign = generate_campaign(3, "terasort", PROFILES["hostile"], 8)
+    path = tmp_path / "campaign.json"
+    campaign.save(str(path))
+    assert Campaign.load(str(path)).to_dict() == campaign.to_dict()
+
+
+def test_campaign_events_make_a_valid_failure_plan():
+    campaign = generate_campaign(11, "terasort", PROFILES["hostile"], 8)
+    plan = campaign.to_failure_plan()
+    # Every event converted; FailureSpec construction validates each one.
+    assert len(plan) == len(campaign.events)
+
+
+def test_unknown_workload_and_profile_are_rejected():
+    with pytest.raises(ValueError):
+        ChaosEngine(workload="nope")
+    with pytest.raises(ValueError):
+        ChaosEngine(profile="nope")
+
+
+def test_terasort_sweep_passes_invariants():
+    report = ChaosEngine("terasort", "standard").sweep(range(5), shrink=False)
+    assert report.ok, report.format_summary()
+    assert report.runs == 5
+    assert report.passed == 5
+
+
+def test_sweep_is_deterministic():
+    first = ChaosEngine("terasort", "standard").sweep(range(3), shrink=False)
+    second = ChaosEngine("terasort", "standard").sweep(range(3), shrink=False)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_campaigns_degrade_but_recover():
+    """Campaigns with destructive events finish slower than the baseline."""
+    engine = ChaosEngine("terasort", "standard")
+    slowed = 0
+    for seed in range(5):
+        result = engine.run_seed(seed, shrink=False)
+        assert result.passed
+        if result.makespan > result.baseline_makespan:
+            slowed += 1
+    assert slowed >= 1
+
+
+def test_replay_from_saved_repro(tmp_path):
+    engine = ChaosEngine("terasort", "standard")
+    path = tmp_path / "repro.json"
+    engine.generate(1).save(str(path))
+    assert engine.replay(str(path)).passed
+
+
+def test_shrink_rejects_passing_campaign():
+    engine = ChaosEngine("terasort", "standard")
+    with pytest.raises(ValueError):
+        engine.shrink(engine.generate(0))
+
+
+def _broken_plan_recovery(*args, **kwargs):
+    """A recovery planner that always declares the failure harmless."""
+    return RecoveryDecision(case=RecoveryCase.INTRA_GRAPHLET, noop=True)
+
+
+def test_mutation_broken_recovery_caught_and_shrunk(tmp_path, monkeypatch):
+    """Deliberately break recovery: the invariants must catch it and the
+    shrinker must reduce the campaign to a tiny replayable repro."""
+    import repro.core.runtime as runtime_module
+
+    monkeypatch.setattr(runtime_module, "plan_recovery", _broken_plan_recovery)
+    engine = ChaosEngine("terasort", "standard", out_dir=str(tmp_path))
+    result = None
+    for seed in range(10):
+        candidate = engine.run_seed(seed, shrink=True)
+        if not candidate.passed:
+            result = candidate
+            break
+    assert result is not None, "no campaign caught the broken recovery"
+    assert any(v.invariant == "terminal-state" for v in result.violations)
+    # Shrinking converged on a minimal repro.
+    assert result.shrunk is not None
+    assert len(result.shrunk.events) <= 3
+    assert not engine.run_campaign(result.shrunk).passed
+    # The JSON repro file replays to the same failure ...
+    assert result.repro_path is not None
+    assert not engine.replay(result.repro_path).passed
+    # ... and the obs trail of failure/recovery spans was written.
+    assert result.trace_path is not None
+    with open(result.trace_path) as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    assert records
+
+
+def test_cli_chaos_sweep(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(["chaos", "--runs", "2", "--workload", "terasort",
+                 "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "passed=2" in out
+
+
+def test_chaos_report_is_exported_by_the_api():
+    from repro.api import ChaosEngine as ApiEngine, ChaosReport
+
+    report = ApiEngine("terasort", "light").sweep(range(2), shrink=False)
+    assert isinstance(report, ChaosReport)
+    assert report.ok
+    payload = report.to_dict()
+    assert payload["runs"] == 2
+    assert json.dumps(payload)  # JSON-serializable end to end

@@ -152,6 +152,101 @@ def test_restart_preserves_submit_time_latency():
     assert result.metrics.failures == 1
 
 
+def test_machine_quarantine_drains_and_recovers():
+    dag = chain_dag("mq", tasks=8, n_stages=2)
+    reference = baseline_time(dag)
+    spec = FailureSpec(kind=FailureKind.MACHINE_QUARANTINE, machine_id=0,
+                       at_fraction=0.2, duration=reference * 0.3)
+    result, _, runtime = run_with_failures(dag, [spec], reference=reference)
+    assert result.completed
+    assert runtime.admin.stats.machines_marked_read_only == 1
+    # The timed quarantine ended: machine healthy, read-only flag cleared.
+    assert runtime.cluster.machines[0].state == MachineState.HEALTHY
+    assert not runtime.admin.health.read_only
+
+
+def test_cache_worker_loss_recovers_and_completes():
+    dag = chain_dag("cw", blocking_stages=(1,), tasks=8)
+    spec = FailureSpec(kind=FailureKind.CACHE_WORKER_LOSS, machine_id=0,
+                       at_fraction=0.4)
+    result, _, runtime = run_with_failures(dag, [spec])
+    assert result.completed
+    # Nothing leaked in the lost worker.
+    assert runtime.cluster.machines[0].cache_worker.bytes_in_memory == 0.0
+
+
+def test_retry_budget_escalates_to_job_failure():
+    from repro.sim.config import RetryConfig, SimConfig
+
+    dag = chain_dag("rb", tasks=2, n_stages=1)
+    reference = baseline_time(dag)
+    config = SimConfig(retry=RetryConfig(max_task_retries=1))
+    specs = [
+        FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", task_index=0,
+                    at_fraction=fraction)
+        for fraction in (0.3, 0.9)
+    ]
+    runtime = SwiftRuntime(
+        Cluster.build(4, 8), swift_policy(), config=config,
+        failure_plan=FailurePlan(list(specs)), reference_duration=reference,
+    )
+    result = runtime.execute(as_job(dag))
+    assert result.failed
+    assert "retry budget exhausted" in result.reason
+    # Resources are reclaimed despite the mid-run abort.
+    assert runtime.cluster.free_executor_count() == runtime.cluster.total_executors()
+
+
+def test_retry_backoff_grows_and_caps():
+    from repro.sim.config import RetryConfig
+
+    retry = RetryConfig(backoff_base=0.2, backoff_factor=2.0, backoff_cap=1.0)
+    assert retry.backoff(1) == pytest.approx(0.2)
+    assert retry.backoff(2) == pytest.approx(0.4)
+    assert retry.backoff(3) == pytest.approx(0.8)
+    assert retry.backoff(6) == 1.0
+    with pytest.raises(ValueError):
+        retry.backoff(0)
+
+
+def test_retry_config_validates():
+    from repro.sim.config import RetryConfig
+
+    with pytest.raises(ValueError):
+        RetryConfig(max_task_retries=0).validate()
+    with pytest.raises(ValueError):
+        RetryConfig(backoff_base=0.5, backoff_cap=0.1).validate()
+    with pytest.raises(ValueError):
+        RetryConfig(jitter_frac=1.5).validate()
+
+
+def test_recovery_counters_reconcile_with_decisions():
+    dag = chain_dag("rc", blocking_stages=(1,), tasks=4)
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.3)
+    result, _, _ = run_with_failures(dag, [spec])
+    m = result.metrics
+    assert result.completed
+    # One failure -> one RecoveryDecision, tallied under its case.
+    assert sum(m.recoveries_by_case.values()) == 1
+    assert m.noop_recoveries == 0
+    assert m.task_reruns >= 1
+    # Every planned re-run actually executed (and nothing extra did).
+    assert m.task_reruns == m.planned_rerun_tasks
+
+
+def test_noop_recovery_counters():
+    dag = chain_dag("noc", blocking_stages=(1,), tasks=4)
+    reference = baseline_time(dag)
+    spec = FailureSpec(kind=FailureKind.TASK_CRASH, stage="S1", at_fraction=0.95)
+    result, _, _ = run_with_failures(dag, [spec], reference=reference)
+    m = result.metrics
+    assert result.completed
+    assert m.noop_recoveries == 1
+    assert m.task_reruns == 0
+    assert m.planned_rerun_tasks == 0
+    assert m.resends == 0
+
+
 def test_process_restart_relaunches_executor_and_recovers():
     from repro.sim.cluster import ExecutorState
 

@@ -34,6 +34,21 @@ def test_spec_rejects_negative_times():
         FailureSpec(at_fraction=-0.5)
 
 
+def test_spec_rejects_non_positive_duration():
+    with pytest.raises(ValueError):
+        FailureSpec(at_time=1.0, duration=0.0)
+    with pytest.raises(ValueError):
+        FailureSpec(at_time=1.0, duration=-3.0)
+    FailureSpec(kind=FailureKind.MACHINE_QUARANTINE, at_time=1.0, duration=5.0)
+
+
+def test_plan_add_revalidates_mutated_spec():
+    spec = FailureSpec(at_time=1.0)
+    spec.at_fraction = 0.5  # specs are mutable; add() must re-check
+    with pytest.raises(ValueError):
+        FailurePlan().add(spec)
+
+
 def test_resolve_time_absolute():
     assert FailureSpec(at_time=12.5).resolve_time(100.0) == 12.5
 
