@@ -17,6 +17,7 @@ code and the docs use this facade::
     print(outcome.makespan, len(outcome.trace))
 """
 
+from ..audit import AuditError, AuditViolation, ResourceLedger
 from ..chaos import Campaign, CampaignResult, ChaosEngine, ChaosReport
 from ..core.dag import Edge, EdgeMode, Job, JobDAG, Stage
 from ..core.metrics import JobMetrics, PhaseBreakdown, TaskTiming
@@ -42,6 +43,8 @@ from .simulation import Simulation, SimulationResult, TraceConfig, Runtime
 from .sql import QueryOutcome, run_sql, sql_engine_for
 
 __all__ = [
+    "AuditError",
+    "AuditViolation",
     "Campaign",
     "CampaignResult",
     "ChaosEngine",
@@ -62,6 +65,7 @@ __all__ = [
     "PhaseBreakdown",
     "QueryOutcome",
     "RecordingTracer",
+    "ResourceLedger",
     "Runtime",
     "RuntimeConfig",
     "ShuffleScheme",

@@ -181,6 +181,13 @@ class RuntimeConfig:
     #: Use the finish-ledger fast path (results are byte-identical; see
     #: tests/test_determinism.py).
     fast_path: bool = True
+    #: Wire a :class:`repro.audit.ResourceLedger` through the runtime so
+    #: every register/release of connections, Cache Worker bytes, and
+    #: executor slots is reconciled at checkpoints.
+    audit: bool = False
+    #: Strict audit raises :class:`repro.audit.AuditError` on the first
+    #: violation; non-strict records violations and emits obs instants.
+    audit_strict: bool = True
 
     def validate(self) -> "RuntimeConfig":
         """Validate every field; returns self so calls can chain."""
@@ -206,6 +213,8 @@ class RuntimeConfig:
             "failure_plan": _failure_plan_to_list(self.failure_plan),
             "reference_duration": self.reference_duration,
             "fast_path": self.fast_path,
+            "audit": self.audit,
+            "audit_strict": self.audit_strict,
         }
 
     @classmethod
@@ -227,5 +236,7 @@ class RuntimeConfig:
             ),
             reference_duration=reference,
             fast_path=bool(payload.get("fast_path", True)),
+            audit=bool(payload.get("audit", False)),
+            audit_strict=bool(payload.get("audit_strict", True)),
         )
         return config.validate()

@@ -12,6 +12,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from ..audit.ledger import ResourceLedger
 from ..core.dag import Job
 from ..core.runtime import JobResult, SwiftRuntime
 from ..obs.metrics import MetricsRegistry, collect_jobs
@@ -89,6 +90,9 @@ class SimulationResult:
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     #: Files written by the export step (when a trace path was configured).
     trace_files: list[str] = field(default_factory=list)
+    #: Resource-accounting summary (``None`` unless the config set
+    #: ``audit=True``); see :meth:`repro.audit.ResourceLedger.summary`.
+    audit: Optional[dict[str, object]] = None
 
     @property
     def completed(self) -> bool:
@@ -144,7 +148,14 @@ class Runtime:
             reference_duration=self.config.reference_duration,
             fast_path=self.config.fast_path,
             tracer=tracer,
+            audit=self.config.audit,
+            audit_strict=self.config.audit_strict,
         )
+
+    @property
+    def ledger(self) -> Optional["ResourceLedger"]:
+        """The resource-accounting ledger (``None`` unless ``audit=True``)."""
+        return self.inner.ledger
 
     @property
     def tracer(self) -> Tracer:
@@ -196,6 +207,8 @@ class Simulation:
         runtime.submit_all(batch)
         results = runtime.run(until=until)
         outcome = SimulationResult(results=list(results))
+        if runtime.ledger is not None:
+            outcome.audit = runtime.ledger.summary()
         if isinstance(tracer, RecordingTracer):
             outcome.trace = list(tracer.records)
             outcome.metrics = tracer.metrics

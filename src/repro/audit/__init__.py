@@ -1,0 +1,23 @@
+"""repro.audit — resource-accounting audit layer.
+
+A :class:`ResourceLedger` shadows every register/release of network
+connections, Cache Worker bytes, and executor slots, and reconciles the
+shadow against the authoritative state at checkpoints.  Wire one through
+:class:`repro.api.RuntimeConfig` (``audit=True``) or pass it to
+:class:`~repro.core.runtime.SwiftRuntime` directly::
+
+    from repro.api import RuntimeConfig, Simulation
+    from repro.workloads import terasort
+
+    outcome = Simulation(RuntimeConfig(n_machines=8, audit=True)).run(
+        terasort.terasort_job(24, 24)
+    )
+
+In strict mode (the default for tests and chaos) the first violation
+raises :class:`AuditError`; in production mode violations are recorded on
+the ledger and emitted as ``repro.obs`` instant records + counters.
+"""
+
+from .ledger import AuditError, AuditViolation, ResourceLedger
+
+__all__ = ["AuditError", "AuditViolation", "ResourceLedger"]

@@ -171,6 +171,7 @@ class ChaosEngine:
         workload: str = "terasort",
         profile: "str | ChaosProfile" = "standard",
         out_dir: Optional[str] = None,
+        audit: bool = False,
     ) -> None:
         spec = WORKLOADS.get(workload)
         if spec is None:
@@ -187,6 +188,9 @@ class ChaosEngine:
             profile = PROFILES[profile]
         self.profile = profile
         self.out_dir = out_dir
+        #: Wire a resource-accounting ledger through every campaign run and
+        #: surface divergences via the ``resource-conservation`` invariant.
+        self.audit = bool(audit)
         self._baselines: dict[tuple[float, float], _Baseline] = {}
 
     # ------------------------------------------------------------------
@@ -239,6 +243,10 @@ class ChaosEngine:
             failure_plan=campaign.to_failure_plan(),
             reference_duration=dict(base.reference),
             tracer=tracer,
+            # Non-strict so the campaign runs to completion and *all*
+            # accounting divergences reach the invariant check.
+            audit=self.audit,
+            audit_strict=False,
         )
         runtime.submit_all(jobs)
         deadline = base.makespan * WATCHDOG_FACTOR + WATCHDOG_SLACK
@@ -347,6 +355,7 @@ class ChaosEngine:
                         "profile": self.profile.name,
                         "shrink": shrink,
                         "out_dir": self.out_dir,
+                        "audit": self.audit,
                     },
                 )
                 for seed in seed_list

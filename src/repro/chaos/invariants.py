@@ -156,6 +156,29 @@ def check_cache_accounting(runtime: SwiftRuntime) -> list[Violation]:
     return out
 
 
+def check_resource_conservation(runtime: SwiftRuntime) -> list[Violation]:
+    """Resource accounting must balance: every register has its release.
+
+    When the run was wired with a :class:`repro.audit.ResourceLedger`
+    (non-strict, so the campaign completes and *all* divergences are
+    collected), each recorded :class:`~repro.audit.AuditViolation` becomes a
+    chaos violation.  A final drained-state reconcile catches leaks the
+    per-checkpoint reconciles could not see (e.g. a registration with no
+    release at all).
+    """
+    ledger = runtime.ledger
+    if ledger is None:
+        return []
+    ledger.reconcile(runtime.cluster, "chaos:post-campaign", expect_drained=True)
+    return [
+        Violation(
+            "resource-conservation",
+            str(audit_violation),
+        )
+        for audit_violation in ledger.violations
+    ]
+
+
 def check_bounded_recovery(runtime: SwiftRuntime) -> list[Violation]:
     """Recovery work must stay within what the RecoveryDecisions planned:
     actual re-runs never exceed the planned re-run budget, and no task may
@@ -257,6 +280,7 @@ def check_all(
     violations.extend(check_terminal_states(runtime, expected_jobs))
     violations.extend(check_result_equivalence(results, baseline))
     violations.extend(check_cache_accounting(runtime))
+    violations.extend(check_resource_conservation(runtime))
     violations.extend(check_bounded_recovery(runtime))
     violations.extend(check_failure_reasons(campaign, results))
     return violations

@@ -260,7 +260,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     _apply_parallel_options(args)
     engine = ChaosEngine(
-        workload=args.workload, profile=args.profile, out_dir=args.out
+        workload=args.workload, profile=args.profile, out_dir=args.out,
+        audit=args.audit,
     )
     if args.replay:
         result = engine.replay(args.replay)
@@ -332,7 +333,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     echo = lambda m: print(m, file=sys.stderr)  # noqa: E731
     problems: list[str] = []
     if args.suite in ("all", "simulator"):
-        payload = bench.run_benchmarks(quick=args.quick, echo=echo)
+        payload = bench.run_benchmarks(
+            quick=args.quick, echo=echo, audit=args.audit
+        )
         _print_simulator_summary(payload)
         if args.check:
             problems += _check_payload(args.out, payload, args.tolerance)
@@ -459,6 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRAC",
                          help="allowed relative drop for --check "
                               "(default 0.25 = 25%%)")
+    p_bench.add_argument("--audit", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="wire the resource-accounting ledger through "
+                              "the chaos smoke sweep (default on; committed "
+                              "payloads are generated with it)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_trace = sub.add_parser(
@@ -507,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="failure hostility profile (default standard)")
     p_chaos.add_argument("--no-shrink", action="store_true",
                          help="report violations without minimizing them")
+    p_chaos.add_argument("--audit", action="store_true",
+                         help="shadow every resource register/release with "
+                              "the accounting ledger; divergences fail the "
+                              "resource-conservation invariant")
     p_chaos.add_argument("--replay", metavar="PATH",
                          help="re-run a saved JSON repro instead of sweeping")
     p_chaos.add_argument("--json", action="store_true",

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..sim.config import CacheWorkerConfig
 from ..sim.disk import DiskModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
+    from ..audit.ledger import ResourceLedger
 
 
 @dataclass
@@ -26,6 +30,13 @@ class CacheEntry:
     #: Remaining consumer tasks that must read before release.
     pending_consumers: int = 0
     last_touch: float = 0.0
+    #: Per-consumer read-back share, snapshotted at spill time from the
+    #: consumer count *then* — so late readers pay the same share as early
+    #: ones even after ``consume()`` has shrunk ``pending_consumers``.
+    spill_read_share: float = 0.0
+    #: Spilled bytes already charged to readers; once every spilled byte
+    #: has been read back (promoted), further reads are free.
+    bytes_read_back: float = 0.0
 
     @property
     def total_bytes(self) -> float:
@@ -49,6 +60,8 @@ class CacheWorker:
         self.bytes_in_memory = 0.0
         self.bytes_spilled_total = 0.0
         self.spill_events = 0
+        #: Optional resource-accounting ledger (:mod:`repro.audit`).
+        self.ledger: Optional["ResourceLedger"] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -67,8 +80,25 @@ class CacheWorker:
         """Look up the entry for one (job, edge) pair, if present."""
         return self._entries.get((job_id, edge_key))
 
+    def iter_entries(self) -> Iterator[CacheEntry]:
+        """All live entries in LRU order (audit and introspection)."""
+        return iter(self._entries.values())
+
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _resync_memory(self) -> None:
+        """Recompute the memory counter from the entry map.
+
+        Incremental ``+=``/``-=`` updates drift (float addition is not
+        associative, and repeated subtraction can go slightly negative
+        mid-run); the entry map is the ground truth, so public mutators
+        resync the counter from it.  Workers hold one entry per live
+        (job, edge) pair, so the recompute is a handful of adds.
+        """
+        self.bytes_in_memory = sum(
+            e.bytes_in_memory for e in self._entries.values()
+        )
 
     # ------------------------------------------------------------------
     # Write / read / release
@@ -94,18 +124,28 @@ class CacheWorker:
         spill_delay = self._ensure_capacity(n_bytes)
         key = (job_id, edge_key)
         entry = self._entries.get(key)
+        new_entry = entry is None
         if entry is None:
             entry = CacheEntry(key=key, bytes_in_memory=0.0)
             self._entries[key] = entry
+        mem_delta = disk_delta = 0.0
         if n_bytes > self.config.memory_capacity:
-            # Oversized writes streamed straight through disk stay there.
+            # Oversized writes streamed straight through disk stay there;
+            # readers will pull their share back, so snapshot it now.
             entry.bytes_on_disk += n_bytes
+            entry.spill_read_share += n_bytes / max(1, pending_consumers)
+            disk_delta = n_bytes
         else:
             entry.bytes_in_memory += n_bytes
-            self.bytes_in_memory += n_bytes
+            mem_delta = n_bytes
         entry.pending_consumers = max(entry.pending_consumers, pending_consumers)
         entry.last_touch = now
         self._entries.move_to_end(key)
+        self._resync_memory()
+        if self.ledger is not None:
+            self.ledger.cache_written(
+                self.machine_id, mem_delta, disk_delta, new_entry
+            )
         return spill_delay
 
     def _ensure_capacity(self, n_bytes: float) -> float:
@@ -116,6 +156,7 @@ class CacheWorker:
             self.spill_events += 1
             return self.disk.spill_time(n_bytes)
         spill_delay = 0.0
+        spilled_any = False
         for key in list(self._entries):
             if self.memory_free >= n_bytes:
                 break
@@ -125,10 +166,20 @@ class CacheWorker:
             spilled = entry.bytes_in_memory
             spill_delay += self.disk.spill_time(spilled)
             entry.bytes_on_disk += spilled
+            # Snapshot each remaining consumer's read-back share *now*:
+            # ``pending_consumers`` shrinks as consumers finish, and a
+            # share computed at read time from the shrunken count would
+            # overcharge late readers for the same spilled bytes.
+            entry.spill_read_share += spilled / max(1, entry.pending_consumers)
             self.bytes_in_memory -= spilled
             entry.bytes_in_memory = 0.0
             self.bytes_spilled_total += spilled
             self.spill_events += 1
+            spilled_any = True
+            if self.ledger is not None:
+                self.ledger.cache_spilled(self.machine_id, spilled)
+        if spilled_any:
+            self._resync_memory()
         if self.memory_free < n_bytes:
             raise CacheWorkerFullError(
                 f"cache worker {self.machine_id} cannot fit {n_bytes} bytes"
@@ -145,8 +196,17 @@ class CacheWorker:
         self._entries.move_to_end(key)
         if entry.bytes_on_disk <= 0 or entry.pending_consumers <= 0:
             return 0.0
-        # Each pending consumer reads back its share of the spilled bytes.
-        share = entry.bytes_on_disk / entry.pending_consumers
+        # Charge the share snapshotted at spill time, never more than the
+        # spilled bytes not yet read back.  Once every spilled byte has
+        # been charged once (promoted back to memory-resident semantics),
+        # further reads are free — the old shrinking-denominator formula
+        # (`bytes_on_disk / pending_consumers`) double-charged late
+        # readers after early consumers had already pulled the data back.
+        remaining = entry.bytes_on_disk - entry.bytes_read_back
+        share = min(entry.spill_read_share, remaining)
+        if share <= 1e-6:  # fully promoted (modulo float dust)
+            return 0.0
+        entry.bytes_read_back += share
         return self.disk.spill_time(share)
 
     def consume(self, job_id: str, edge_key: str) -> bool:
@@ -171,6 +231,8 @@ class CacheWorker:
         lost = list(self._entries.values())
         self._entries.clear()
         self.bytes_in_memory = 0.0
+        if self.ledger is not None:
+            self.ledger.cache_dropped_all(self.machine_id)
         return lost
 
     def release_job(self, job_id: str) -> None:
@@ -181,6 +243,11 @@ class CacheWorker:
     def _release(self, key: tuple[str, str]) -> None:
         entry = self._entries.pop(key, None)
         if entry is not None:
-            self.bytes_in_memory -= entry.bytes_in_memory
-            if self.bytes_in_memory < 1e-6:
-                self.bytes_in_memory = 0.0
+            if self.ledger is not None:
+                self.ledger.cache_released(
+                    self.machine_id, entry.bytes_in_memory, entry.bytes_on_disk
+                )
+            # Recompute from the entry map instead of subtracting: repeated
+            # float subtraction drifted the counter away from the true sum
+            # (the old `< 1e-6` snap-to-zero papered over it only near 0).
+            self._resync_memory()

@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from ..audit.ledger import ResourceLedger
 from ..obs.records import Category
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..sim.cluster import Cluster, Executor, ExecutorState
@@ -219,6 +220,9 @@ class SwiftRuntime:
         shadow: Optional[ShadowController] = None,
         fast_path: bool = True,
         tracer: Optional[Tracer] = None,
+        audit: bool = False,
+        audit_strict: bool = True,
+        ledger: Optional[ResourceLedger] = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
@@ -269,6 +273,18 @@ class SwiftRuntime:
                 machine.cache_worker = CacheWorker(
                     machine.machine_id, self.config.cache_worker, cluster.disk
                 )
+        #: Resource-accounting ledger (:mod:`repro.audit`); ``None`` keeps
+        #: every hook site on a single ``is not None`` check.  Pass a
+        #: pre-built ``ledger`` to share one across runtimes (chaos does),
+        #: or ``audit=True`` to build a fresh one.
+        self.ledger: Optional[ResourceLedger] = ledger
+        if self.ledger is None and audit:
+            self.ledger = ResourceLedger(strict=audit_strict, tracer=self.tracer)
+        if self.ledger is not None:
+            self.ledger.bind_clock(lambda: self.sim.now)
+            cluster.network.ledger = self.ledger
+            for machine in cluster.machines:
+                machine.cache_worker.ledger = self.ledger  # type: ignore[union-attr]
         if not policy.gang:
             # Wave execution is only meaningful for single-stage units.
             pass
@@ -291,6 +307,15 @@ class SwiftRuntime:
         # Fast path: finalize any ledger entries due by the stop time (the
         # legacy path realised them as simulator events during the run).
         self._flush_finishes()
+        if self.ledger is not None:
+            # Drained-state assertions only make sense once every submitted
+            # job has terminated (``until`` may stop mid-flight).
+            drained = all(
+                jr.done or jr.failed for jr in self.job_runs.values()
+            )
+            self.ledger.reconcile(
+                self.cluster, "run:end", expect_drained=drained
+            )
         return self.results
 
     def execute(self, job: Job) -> JobResult:
@@ -1078,6 +1103,12 @@ class SwiftRuntime:
         if sr.registered_connections:
             self.cluster.network.release_connections(sr.registered_connections)
             sr.registered_connections = 0
+        if self.ledger is not None:
+            # Cheap checkpoint: the connection shadow must agree right after
+            # every stage's release (cache/executor checks run at teardown).
+            self.ledger.reconcile_network(
+                self.cluster.network, f"stage:{job_run.job.job_id}/{sr.name}"
+            )
         self._store_cross_unit_outputs(sr)
         self._consume_cross_unit_inputs(sr)
         # Cross-unit consumers (conservative submission) may be ready now.
@@ -1200,6 +1231,10 @@ class SwiftRuntime:
             )
             self.tracer.collect_job_metrics(metrics)
         self._release_cache_workers(job_run.job.job_id)
+        if self.ledger is not None:
+            self.ledger.reconcile(
+                self.cluster, f"job:{job_run.job.job_id}:completed"
+            )
         self.results.append(
             JobResult(
                 job_id=job_run.job.job_id,
@@ -1458,6 +1493,10 @@ class SwiftRuntime:
                 attempt=job_run.attempt, reason=reason,
             )
         self._release_job_resources(job_run)
+        if self.ledger is not None:
+            self.ledger.reconcile(
+                self.cluster, f"job:{job_run.job.job_id}:failed"
+            )
         job_run.metrics.finish_time = self.sim.now
         self.results.append(
             JobResult(

@@ -177,7 +177,11 @@ class ShuffleCostModel:
                 recv_bw = self.network.effective_bandwidth(
                     consumers_per_machine, concurrent_connections
                 )
-                write = copy_time_write  # hold output in executor memory
+                # Section III-B: Direct has 0 extra memory copies — the
+                # producer already holds its output in executor memory, so
+                # the barrier branch must not charge a copy the pipeline
+                # branch (and ``memory_copies(DIRECT)``) say does not exist.
+                write = 0.0
                 read = setup + in_per_consumer / recv_bw + self.network.config.rtt
             else:
                 # Producers push to gang-scheduled live consumers.

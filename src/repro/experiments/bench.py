@@ -175,17 +175,23 @@ def bench_tracing(m: int = 100, n: int = 100, rounds: int = 5) -> dict[str, floa
     }
 
 
-def bench_chaos_smoke(runs: int = 10, rounds: int = 1) -> dict[str, float]:
+def bench_chaos_smoke(
+    runs: int = 10, rounds: int = 1, audit: bool = True
+) -> dict[str, float]:
     """Fixed-seed chaos sweep: campaign throughput plus pass fraction.
 
     The pass fraction doubles as a correctness gate: campaigns are fully
     deterministic, so any drop means a recovery-path regression, not
-    timer noise.
+    timer noise.  ``audit`` additionally wires a resource-accounting
+    ledger through every campaign, so unbalanced register/release pairs
+    fail the ``resource-conservation`` invariant (and thus the gate).
     """
     from ..chaos import ChaosEngine
 
     def scenario() -> object:
-        engine = ChaosEngine(workload="terasort", profile="standard")
+        engine = ChaosEngine(
+            workload="terasort", profile="standard", audit=audit
+        )
         return engine.sweep(range(runs), shrink=False)
 
     elapsed, report = _min_time(scenario, rounds)
@@ -194,6 +200,7 @@ def bench_chaos_smoke(runs: int = 10, rounds: int = 1) -> dict[str, float]:
         "workload": "terasort",
         "profile": "standard",
         "runs": runs,
+        "audit": audit,
         "passed": passed,
         "passed_fraction": passed / runs,
         "best_ms": 1e3 * elapsed,
@@ -465,9 +472,15 @@ def write_payload(path: str, payload: dict[str, object]) -> None:
 
 
 def run_benchmarks(
-    quick: bool = False, echo: Optional[Callable[[str], None]] = None
+    quick: bool = False,
+    echo: Optional[Callable[[str], None]] = None,
+    audit: bool = True,
 ) -> dict[str, object]:
-    """Run every scenario and return the BENCH_simulator.json payload."""
+    """Run every scenario and return the BENCH_simulator.json payload.
+
+    ``audit`` wires the resource-accounting ledger through the chaos
+    smoke sweep (the committed payloads are generated with it on).
+    """
     def say(message: str) -> None:
         if echo:
             echo(message)
@@ -490,7 +503,9 @@ def run_benchmarks(
         n_jobs=60 if quick else 120
     )
     say("chaos smoke sweep ...")
-    payload["chaos_smoke"] = bench_chaos_smoke(runs=5 if quick else 10)
+    payload["chaos_smoke"] = bench_chaos_smoke(
+        runs=5 if quick else 10, audit=audit
+    )
     return payload
 
 

@@ -327,6 +327,7 @@ def chaos_campaign_cell(
     profile: str,
     shrink: bool = True,
     out_dir: "str | None" = None,
+    audit: bool = False,
 ) -> dict[str, object]:
     """One chaos campaign: generate from ``seed``, inject, check, shrink.
 
@@ -336,5 +337,7 @@ def chaos_campaign_cell(
     """
     from ..chaos import ChaosEngine
 
-    engine = ChaosEngine(workload=workload, profile=profile, out_dir=out_dir)
+    engine = ChaosEngine(
+        workload=workload, profile=profile, out_dir=out_dir, audit=audit
+    )
     return engine.run_seed(seed, shrink=shrink).to_dict()

@@ -206,16 +206,22 @@ def build_report(quick: bool = False, echo: Callable[[str], None] | None = None)
         "idle machine before committing fresh numbers), and `python -m "
         "repro bench --check` compares a fresh run against the committed "
         "files without overwriting them, failing on >25% regressions of "
-        "the gated speedups.",
+        "the gated speedups.  The committed simulator payload is generated "
+        "with resource auditing on (`--audit`, the default): the chaos "
+        "smoke sweep reconciles a `repro.audit.ResourceLedger` after every "
+        "campaign, so its gated pass fraction also covers resource "
+        "conservation.",
         "",
         "Fault-tolerance results are additionally stress-tested by the "
         "chaos engine: `python -m repro chaos --runs 200 --seed 0` sweeps "
         "seeded multi-failure campaigns and checks recovery invariants "
-        "after every run.  A violated campaign is shrunk to a minimal "
-        "repro and saved as JSON; replay it exactly with `python -m repro "
-        "chaos --replay chaos_repros/<file>.json` (campaigns are fully "
-        "deterministic, so the replay reproduces the violation bit for "
-        "bit).  See README's \"Fault tolerance & chaos\" section.",
+        "after every run (add `--audit` to also reconcile resource "
+        "accounting, as the CI smoke job does).  A violated campaign is "
+        "shrunk to a minimal repro and saved as JSON; replay it exactly "
+        "with `python -m repro chaos --replay chaos_repros/<file>.json` "
+        "(campaigns are fully deterministic, so the replay reproduces the "
+        "violation bit for bit).  See README's \"Fault tolerance & "
+        "chaos\" section.",
         "",
     ]
     for section in sections:

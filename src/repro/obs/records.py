@@ -52,6 +52,8 @@ class Category:
     CACHE = "cache"
     FAILURE = "failure"
     RECOVERY = "recovery"
+    #: Resource-accounting audit violations (:mod:`repro.audit`).
+    AUDIT = "audit"
     ENGINE = "engine"
     META = "meta"
 

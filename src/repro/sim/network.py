@@ -16,8 +16,12 @@ Section V-E attributes the shuffle-scheme crossovers to:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from .config import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
+    from ..audit.ledger import ResourceLedger
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,10 @@ class NetworkModel:
         config.validate()
         self.config = config
         self.open_connections = 0
+        #: Optional resource-accounting ledger (:mod:`repro.audit`); when
+        #: set, every register/release is shadowed and unbalanced releases
+        #: are flagged instead of silently clamped away.
+        self.ledger: Optional["ResourceLedger"] = None
         scale = max(1, n_machines) / max(1, config.reference_machines)
         #: Congestion thresholds scaled to this cluster's size.
         self.congestion_midpoint = config.conn_congestion_midpoint * scale
@@ -60,11 +68,21 @@ class NetworkModel:
         if count < 0:
             raise ValueError("connection count must be non-negative")
         self.open_connections += count
+        if self.ledger is not None:
+            self.ledger.conn_registered(count)
 
     def release_connections(self, count: int) -> None:
-        """Release ``count`` connections (call on shuffle completion)."""
+        """Release ``count`` connections (call on shuffle completion).
+
+        Production keeps the non-negative clamp (a congestion counter gone
+        negative would corrupt every later cost estimate), but the clamp
+        must not *hide* unbalanced register/release pairs: the audit ledger,
+        when wired, flags any release exceeding outstanding registrations.
+        """
         if count < 0:
             raise ValueError("connection count must be non-negative")
+        if self.ledger is not None:
+            self.ledger.conn_released(count, self.open_connections)
         self.open_connections = max(0, self.open_connections - count)
 
     # ------------------------------------------------------------------

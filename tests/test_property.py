@@ -222,6 +222,78 @@ def test_cache_worker_memory_never_exceeds_capacity(operations):
     assert len(worker) == 0
 
 
+#: One random Cache Worker operation: (op, edge id, bytes, consumers).
+_cache_ops = st.tuples(
+    st.sampled_from(["write", "read", "consume", "drop_all", "release_job"]),
+    st.integers(min_value=0, max_value=3),
+    st.floats(min_value=0, max_value=60 * 1024**2),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+@given(
+    st.lists(_cache_ops, min_size=1, max_size=40),
+    st.sampled_from([32 * 1024**2, 100 * 1024**2]),
+)
+@settings(max_examples=80, deadline=None)
+def test_cache_worker_invariants_under_interleavings(operations, capacity):
+    """Arbitrary write/read/consume/drop_all/release_job interleavings keep
+    the memory counter equal to the entry-map sum, never negative, never
+    over capacity — with a strict audit ledger attached, so any shadow
+    divergence raises immediately."""
+    from repro.audit import ResourceLedger
+
+    config = CacheWorkerConfig(memory_capacity=capacity)
+    worker = CacheWorker(0, config, DiskModel(DiskConfig()))
+    worker.ledger = ledger = ResourceLedger(strict=True)
+    jobs = ("jobA", "jobB")
+    for t, (op, edge, n_bytes, consumers) in enumerate(operations):
+        job_id = jobs[edge % 2]
+        key = f"e{edge}"
+        if op == "write":
+            worker.write(job_id, key, n_bytes, consumers, now=float(t))
+        elif op == "read":
+            assert worker.read(job_id, key, now=float(t)) >= 0.0
+        elif op == "consume":
+            worker.consume(job_id, key)
+        elif op == "drop_all":
+            worker.drop_all()
+        else:
+            worker.release_job(job_id)
+        entry_sum = sum(e.bytes_in_memory for e in worker.iter_entries())
+        assert worker.memory_used == entry_sum
+        assert 0.0 <= worker.bytes_in_memory <= capacity + 1e-6
+        ledger.reconcile_cache_worker(worker, checkpoint=f"op{t}")
+    worker.drop_all()
+    assert worker.bytes_in_memory == 0.0
+    assert ledger.ok
+
+
+@given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_cache_worker_spill_read_back_never_exceeds_spilled(consumer_counts):
+    """Every consumer of a spilled entry pays the share snapshotted at
+    spill time, and the total charged never exceeds the spilled bytes
+    (the old shrinking-denominator formula over-charged late readers)."""
+    mb = 1024**2
+    config = CacheWorkerConfig(memory_capacity=64 * mb)
+    worker = CacheWorker(0, config, DiskModel(DiskConfig()))
+    for i, consumers in enumerate(consumer_counts):
+        worker.write("job", f"e{i}", 40 * mb, consumers, now=float(i))
+    # The last write left earlier entries spilled; drain every consumer.
+    for i, consumers in enumerate(consumer_counts):
+        entry = worker.entry("job", f"e{i}")
+        assert entry is not None
+        for r in range(consumers):
+            worker.read("job", f"e{i}", now=100.0 + r)
+        assert entry.bytes_read_back <= entry.bytes_on_disk + 1e-6
+        # Further reads are free: all spilled bytes are promoted.
+        before = entry.bytes_read_back
+        assert worker.read("job", f"e{i}", now=200.0) == 0.0 or (
+            entry.bytes_read_back == before
+        )
+
+
 # ----------------------------------------------------------------------
 # Event engine ordering
 # ----------------------------------------------------------------------

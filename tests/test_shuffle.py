@@ -131,6 +131,15 @@ def test_direct_barrier_charges_read_side(model):
     assert pull.write_per_task < push.write_per_task
 
 
+def test_direct_barrier_write_has_no_memory_copy(model):
+    """Section III-B: ``memory_copies(DIRECT) == 0`` — the producer already
+    holds its output in executor memory, so the barrier branch must not
+    charge a copy on the write side."""
+    assert memory_copies(ShuffleScheme.DIRECT) == 0
+    pull = model.edge_cost(ShuffleScheme.DIRECT, 1 * GB, 50, 50, 5, 1000, barrier=True)
+    assert pull.write_per_task == 0.0
+
+
 def test_disk_write_scales_with_partition_files(model):
     narrow = model.edge_cost(ShuffleScheme.DISK, 1 * GB, 10, 10, 2, 100)
     wide = model.edge_cost(ShuffleScheme.DISK, 1 * GB, 10, 1000, 2, 100)
