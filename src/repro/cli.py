@@ -8,11 +8,13 @@ Commands
     Run one or more experiments by key and print their tables.
 ``report [--quick] [--out PATH] [--jobs N]``
     Run everything and write the EXPERIMENTS.md document.
-``bench [--quick] [--suite all|simulator|sql] [--out PATH] [--sql-out PATH] [--check]``
+``bench [--quick] [--suite all|simulator|sql|scale] [--out PATH] [--sql-out PATH] [--check]``
     Benchmark the simulator substrate (BENCH_simulator.json) and the SQL
-    engines (BENCH_sql.json).  ``--check`` compares a fresh run against
-    the committed JSON instead of overwriting it and exits non-zero when
-    a gated metric regressed beyond ``--tolerance``.
+    engines (BENCH_sql.json).  ``--suite scale`` runs only the paper-scale
+    trace replay and merges its entry into the simulator JSON.  ``--check``
+    compares a fresh run against the committed JSON instead of overwriting
+    it and exits non-zero when a gated metric regressed beyond
+    ``--tolerance``.
 ``sql [--query TEXT | --file PATH] [--scale N] [--execute] [--engine E]``
     Compile a Swift-language query to a job DAG, show the plan and the
     graphlet partitioning, simulate it, and optionally execute it on a
@@ -299,6 +301,21 @@ def _print_simulator_summary(payload: dict) -> None:
     if chaos:
         print(f"chaos smoke: {chaos['passed']}/{chaos['runs']} campaigns "
               f"passed in {chaos['best_ms']:.0f}ms")
+    scale = payload.get("scale")
+    if scale:
+        _print_scale_summary(scale)
+
+
+def _print_scale_summary(scale: dict) -> None:
+    print(f"scale replay: {scale['replay_jobs']} jobs / "
+          f"{scale['replay_tasks']:,} tasks on {scale['n_machines']:,} "
+          f"machines in {scale['replay_wall_s']:.2f}s "
+          f"(makespan {scale['replay_makespan_s']:.0f}s simulated, "
+          f"legacy kernel {scale['replay_speedup']:.2f}x slower)")
+    print(f"scale kernel: {scale['kernel_events']:,} events at "
+          f"{scale['events_per_s']:,.0f} events/s, peak queue "
+          f"{scale['kernel_peak_pending']:,} "
+          f"({scale['kernel_speedup']:.2f}x over legacy)")
 
 
 def _print_sql_summary(payload: dict) -> None:
@@ -342,6 +359,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             bench.write_payload(args.out, payload)
             print(f"wrote {args.out}", file=sys.stderr)
+    if args.suite == "scale":
+        payload = bench.run_scale_benchmarks(quick=args.quick, echo=echo)
+        _print_scale_summary(payload["scale"])
+        if args.check:
+            problems += _check_payload(args.out, payload, args.tolerance)
+        else:
+            bench.merge_payload(args.out, payload)
+            print(f"updated scale entry in {args.out}", file=sys.stderr)
     if args.suite in ("all", "sql"):
         payload = bench.run_sql_benchmarks(quick=args.quick, echo=echo)
         _print_sql_summary(payload)
@@ -448,8 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark the simulator substrate and SQL engines"
     )
     p_bench.add_argument("--quick", action="store_true", help="smaller scenarios")
-    p_bench.add_argument("--suite", choices=("all", "simulator", "sql"),
-                         default="all", help="which benchmark suite(s) to run")
+    p_bench.add_argument("--suite", choices=("all", "simulator", "sql", "scale"),
+                         default="all",
+                         help="which benchmark suite(s) to run (scale runs "
+                              "only the paper-scale replay and merges its "
+                              "entry into the simulator JSON)")
     _add_output_option(p_bench, default="BENCH_simulator.json",
                        what="the simulator JSON document")
     p_bench.add_argument("--sql-out", default="BENCH_sql.json", metavar="PATH",

@@ -32,7 +32,7 @@ from ..obs.records import Category
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..sim.cluster import Cluster, Executor, ExecutorState
 from ..sim.config import SimConfig
-from ..sim.engine import Simulator
+from ..sim.engine import LegacySimulator, Simulator
 from ..sim.failures import FailureKind, FailurePlan, FailureSpec
 from .admin import SwiftAdmin
 from .cache_worker import CacheWorker
@@ -223,7 +223,10 @@ class SwiftRuntime:
         audit: bool = False,
         audit_strict: bool = True,
         ledger: Optional[ResourceLedger] = None,
+        kernel: str = "array",
     ) -> None:
+        if kernel not in ("array", "legacy"):
+            raise ValueError(f"kernel must be 'array' or 'legacy', got {kernel!r}")
         self.cluster = cluster
         self.policy = policy
         #: Structured tracing hook (repro.obs); the null tracer keeps every
@@ -232,7 +235,10 @@ class SwiftRuntime:
         #: Admin failover windows (Section II-B's shadow controller).
         self.shadow = shadow or ShadowController()
         self.config = config or cluster.config
-        self.sim = Simulator(seed=self.config.seed, tracer=self.tracer)
+        #: ``kernel="legacy"`` swaps in the object-heap oracle kernel; the
+        #: scale bench uses it as the speedup baseline.
+        sim_cls = LegacySimulator if kernel == "legacy" else Simulator
+        self.sim = sim_cls(seed=self.config.seed, tracer=self.tracer)
         self.admin = SwiftAdmin(self.config.admin, cluster.n_machines)
         self.scheduler = ResourceScheduler(cluster)
         self.shuffle_model = ShuffleCostModel(self.config, cluster.network, cluster.disk)
@@ -297,9 +303,15 @@ class SwiftRuntime:
         self.sim.schedule_at(job.submit_time, self._on_job_submitted, job, 0)
 
     def submit_all(self, jobs: list[Job]) -> None:
-        """Queue a batch of jobs at their respective submit times."""
-        for job in jobs:
-            self.submit(job)
+        """Queue a batch of jobs at their respective submit times.
+
+        Large workloads (paper-scale replays) enter the event kernel in one
+        ``schedule_batch`` call instead of per-job heap pushes.
+        """
+        now = self.sim.now
+        self.sim.schedule_batch(
+            [(job.submit_time - now, self._on_job_submitted, (job, 0)) for job in jobs]
+        )
 
     def run(self, until: Optional[float] = None) -> list[JobResult]:
         """Run the simulation to completion and return per-job results."""
@@ -904,7 +916,7 @@ class SwiftRuntime:
         busy_append = self.busy_intervals.append
         make_timing = TaskTiming
         trace_on = self.tracer.enabled
-        trace_task = self._trace_task_span
+        trace_task = self.tracer.task_span
         cluster = self.cluster
         idle = ExecutorState.IDLE
         revoked = ExecutorState.REVOKED
@@ -969,8 +981,8 @@ class SwiftRuntime:
                 busy_append((plan_arrive, finish))
                 if trace_on:
                     trace_task(
-                        sr, inst.index, inst.attempt, plan_arrive,
-                        data_arrive, finish,
+                        stage_name, job_id, inst.index, inst.attempt,
+                        plan_arrive, data_arrive, finish,
                         inst.launch, inst.read, inst.proc, inst.write,
                     )
                 executor = inst.executor
@@ -978,7 +990,9 @@ class SwiftRuntime:
                     executor.current_task = None
                     if executor.state is not revoked:
                         executor.state = idle
-                        executor.machine.idle_count += 1
+                        machine = executor.machine
+                        machine.idle_count += 1
+                        machine._free_stack.append(executor)
                         cluster._free_count += 1
                     inst.executor = None
                 sr.n_finalized += 1
@@ -1038,47 +1052,15 @@ class SwiftRuntime:
         metrics.tasks.append(timing)
         self.busy_intervals.append((inst.plan_arrive, inst.finish_time))
         if self.tracer.enabled:
-            self._trace_task_span(
-                sr, inst.index, inst.attempt, inst.plan_arrive,
-                inst.data_arrive, inst.finish_time,
+            self.tracer.task_span(
+                sr.name, sr.job_run.job.job_id, inst.index, inst.attempt,
+                inst.plan_arrive, inst.data_arrive, inst.finish_time,
                 inst.launch, inst.read, inst.proc, inst.write,
             )
         if inst.executor is not None:
             inst.executor.release()
             inst.executor = None
 
-    def _trace_task_span(
-        self,
-        sr: StageRun,
-        index: int,
-        attempt: int,
-        plan_arrive: float,
-        data_arrive: float,
-        finish: float,
-        launch: float,
-        read: float,
-        proc: float,
-        write: float,
-    ) -> None:
-        """Emit the span record of one finished task attempt."""
-        idle = min(data_arrive, finish) - plan_arrive
-        self.tracer.span(
-            Category.TASK,
-            f"{sr.name}[{index}]",
-            plan_arrive,
-            finish - plan_arrive,
-            sr.job_run.job.job_id,
-            scope=sr.name,
-            # ts + dur can round away from the exact finish time; consumers
-            # that need the precise interval (task_intervals) read this.
-            finish=finish,
-            attempt=attempt,
-            idle=idle if idle > 0 else 0.0,
-            launch=launch,
-            read=read,
-            proc=proc,
-            write=write,
-        )
 
     def _on_stage_completed(self, sr: StageRun) -> None:
         sr.completed = True
@@ -1716,9 +1698,9 @@ class SwiftRuntime:
 
     def _grab_free_executor(self) -> Optional[Executor]:
         for machine in self.cluster.schedulable_machines():
-            free = machine.free_executors()
-            if free:
-                return free[0]
+            stack = machine._free_stack
+            if stack:
+                return stack[-1]
         return None
 
     def _output_consumed(self, sr: StageRun) -> bool:

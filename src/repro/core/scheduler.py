@@ -13,6 +13,7 @@ that fits entirely (gang semantics: all-or-nothing per unit).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, nsmallest
 from typing import Callable, Optional
 
 from ..sim.cluster import Cluster, Executor, ExecutorState, Machine
@@ -163,7 +164,15 @@ class ResourceScheduler:
                 for executor in executors:
                     executor.state = assigned
                     executor.current_task = item
-                    executor.machine.idle_count -= 1
+                    machine = executor.machine
+                    machine.idle_count -= 1
+                    stack = machine._free_stack
+                    # Picks consume each stack top-first, so this is almost
+                    # always a pop from the end.
+                    if stack[-1] is executor:
+                        stack.pop()
+                    else:
+                        stack.remove(executor)
                 self.cluster._free_count -= len(executors)
             else:
                 for executor in executors:
@@ -182,41 +191,48 @@ class ResourceScheduler:
         chosen: list[Executor] = []
 
         # Locality pass: take free executors on preferred machines first.
+        # Executors come off the top of each machine's free stack so the
+        # later state update pops instead of scanning.
         if item.locality:
             preferred = {mid for mid in item.locality}
             for machine in self.cluster.schedulable_machines():
                 if machine.machine_id not in preferred:
                     continue
-                for executor in machine.free_executors():
+                for executor in reversed(machine._free_stack):
                     chosen.append(executor)
                     if len(chosen) == needed:
                         return chosen
 
         # Load pass: spread the remainder across the least-loaded machines,
-        # round-robin so no single machine is flocked.  Pools are built
-        # lazily so a small grant touches only a few machines.
-        machines = sorted(
-            (m for m in self.cluster.schedulable_machines() if m.idle_count > 0),
-            key=lambda m: (m.load(), m.machine_id),
-        )
+        # round-robin so no single machine is flocked.  A heap over the
+        # candidate machines yields them in (load, id) order one at a time,
+        # so a small grant pays O(M + grant log M) instead of the full
+        # O(M log M) sort.
+        cand = [
+            (machine.load(), machine.machine_id, machine)
+            for machine in self.cluster.schedulable_machines()
+            if machine.idle_count > 0
+        ]
+        n_idle_machines = len(cand)
+        heapify(cand)
         chosen_ids = {id(e) for e in chosen}
         still_needed = needed - len(chosen)
+        # Spread target: same bound the eager sort used — enough machines
+        # for one-executor-per-machine when the cluster allows it.
+        target_pools = min(still_needed, n_idle_machines)
         pools: list[list[Executor]] = []
         available = 0
-        for machine in machines:
-            # free_executors() returns a fresh list, so without a locality
-            # pre-pick it can be consumed directly instead of re-filtered.
+        while cand and (available < still_needed or len(pools) < target_pools):
+            machine = heappop(cand)[2]
             if chosen_ids:
-                pool = [e for e in machine.free_executors() if id(e) not in chosen_ids]
+                pool = [
+                    e for e in machine._free_stack if id(e) not in chosen_ids
+                ]
             else:
-                pool = machine.free_executors()
+                pool = list(machine._free_stack)
             if pool:
                 pools.append(pool)
                 available += len(pool)
-            if available >= still_needed and len(pools) >= min(
-                still_needed, len(machines)
-            ):
-                break
         cursor = 0
         active = [pool for pool in pools if pool]
         while len(chosen) < needed and active:
@@ -237,8 +253,7 @@ def pick_locality_machines(
     """Simple locality preference: the least-loaded machines that could host
     the scan tasks (data placement is uniform in the simulator, so locality
     reduces to load spreading)."""
-    machines = sorted(
-        cluster.schedulable_machines(), key=lambda m: (m.load(), m.machine_id)
-    )
+    machines = cluster.schedulable_machines()
     take = max(1, min(len(machines), -(-n_tasks // max(1, cluster.config.executors_per_machine))))
-    return tuple(m.machine_id for m in machines[:take])
+    best = nsmallest(take, machines, key=lambda m: (m.load(), m.machine_id))
+    return tuple(m.machine_id for m in best)

@@ -28,6 +28,7 @@ mean) is the standard way to suppress scheduler noise on shared machines.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -37,8 +38,13 @@ from ..core.policies import swift_policy
 from ..core.runtime import SwiftRuntime
 from ..obs.tracer import RecordingTracer, Tracer
 from ..sim.cluster import Cluster
-from ..sim.engine import Simulator
+from ..sim.engine import LegacySimulator, Simulator
 from ..workloads import terasort
+from ..workloads.traces import (
+    PAPER_SCALE_EXECUTORS,
+    PAPER_SCALE_MACHINES,
+    paper_scale_trace,
+)
 from .parallel import Cell, clear_memory_cache, execution_plan, run_cells
 
 #: Module that hosts the picklable cell functions.
@@ -46,13 +52,25 @@ _CELLS = "repro.experiments.cells"
 
 
 def _min_time(fn: Callable[[], object], rounds: int) -> tuple[float, object]:
-    """Best-of-``rounds`` wall time in seconds, plus the last return value."""
+    """Best-of-``rounds`` wall time in seconds, plus the last return value.
+
+    GC is paused during the timed region so a collection triggered by one
+    scenario's allocations does not land in another scenario's timing.
+    """
     best = float("inf")
     value: object = None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - started)
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            gc.collect()
+            started = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - started)
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()
     return best, value
 
 
@@ -260,6 +278,142 @@ def bench_parallel_replay(
 
 
 # ----------------------------------------------------------------------
+# Paper-scale replay (``repro bench --suite scale``)
+# ----------------------------------------------------------------------
+
+def _run_scale_replay(kernel: str, jobs: list, n_machines: int, executors: int) -> object:
+    """One end-to-end trace replay on ``kernel``; returns the runtime."""
+    runtime = SwiftRuntime(
+        Cluster.build(n_machines, executors),
+        swift_policy(),
+        # The legacy per-task-event path: every task launch/finish flows
+        # through the kernel queue, which is exactly what this scenario
+        # measures (the finish-ledger fast path bypasses the kernel).
+        fast_path=False,
+        kernel=kernel,
+    )
+    runtime.submit_all(jobs)
+    runtime.run()
+    return runtime
+
+
+def _kernel_event_plan(jobs: list) -> list[tuple[float, Callable[..., object], tuple]]:
+    """Flatten a trace into raw kernel events (two per task).
+
+    The plan preserves the trace's arrival process and stage structure —
+    event times are the task start/finish instants a replay would schedule —
+    but drops the runtime, so feeding it to a kernel measures pure
+    event-queue throughput at the replay's real queue depths.
+    """
+    items: list[tuple[float, Callable[..., object], tuple]] = []
+    for job in jobs:
+        offset = 0.0
+        for stage in job.dag:
+            duration = stage.work_seconds_per_task or 1.0
+            for index in range(stage.task_count):
+                start = job.submit_time + offset + (index % 97) * 0.003
+                items.append((start, _noop, ()))
+                items.append((start + duration, _noop, ()))
+            offset += duration + 1.0
+    return items
+
+
+def _replay_kernel_events(
+    sim_cls: type, items: list, cancel_every: int = 4
+) -> tuple[int, int]:
+    """Push the event plan through one kernel; returns (executed, peak).
+
+    A quarter of the events are shadowed by speculative duplicates that are
+    cancelled before running — the recovery-churn pattern that exercises
+    lazy deletion and compaction at scale.
+    """
+    sim = sim_cls()
+    scheduled = sim.schedule_batch(items)
+    assert scheduled == len(items)
+    speculative = [
+        sim.schedule(items[i][0] + 0.5, _noop)
+        for i in range(0, len(items), cancel_every)
+    ]
+    for event in speculative:
+        event.cancel()
+    sim.run()
+    return sim.events_processed, sim.peak_pending
+
+
+def bench_scale(quick: bool = False, rounds: int = 2) -> dict[str, float]:
+    """Paper-scale calibrated replay: 2,000 machines, Fig. 8 trace.
+
+    Two measurements share the same calibrated trace generator:
+
+    * **end-to-end** — the full runtime replays the trace on a
+      2,000-machine cluster through the per-task-event path, on the
+      array-backed kernel and on the legacy object-heap oracle; wall
+      time, events, queue high-water mark, and makespan come from here.
+    * **kernel replay** — the same trace flattened to raw task start/finish
+      events (plus a cancelled speculative shadow) drives both kernels
+      directly; this is the paper-scale ``events_per_s`` headline and the
+      undiluted kernel comparison.
+
+    Quick mode shrinks the trace and cluster but keeps both measurements'
+    structure, so ``--check`` ratios compare across modes.
+    """
+    n_machines = 200 if quick else PAPER_SCALE_MACHINES
+    executors = PAPER_SCALE_EXECUTORS
+    max_stage_tasks = 150 if quick else 700
+    replay_jobs = paper_scale_trace(
+        n_jobs=60 if quick else 200, max_stage_tasks=max_stage_tasks
+    )
+    kernel_jobs = paper_scale_trace(
+        n_jobs=300 if quick else 2000, max_stage_tasks=max_stage_tasks
+    )
+
+    replay_s, runtime = _min_time(
+        lambda: _run_scale_replay("array", replay_jobs, n_machines, executors),
+        rounds,
+    )
+    legacy_replay_s, legacy_runtime = _min_time(
+        lambda: _run_scale_replay("legacy", replay_jobs, n_machines, executors),
+        rounds,
+    )
+    sim = runtime.sim  # type: ignore[attr-defined]
+    results = runtime.results  # type: ignore[attr-defined]
+    tasks = sum(len(r.metrics.tasks) for r in results)
+    legacy_results = legacy_runtime.results  # type: ignore[attr-defined]
+    assert tasks == sum(len(r.metrics.tasks) for r in legacy_results)
+
+    plan = _kernel_event_plan(kernel_jobs)
+    kernel_s, stats = _min_time(
+        lambda: _replay_kernel_events(Simulator, plan), rounds
+    )
+    legacy_kernel_s, legacy_stats = _min_time(
+        lambda: _replay_kernel_events(LegacySimulator, plan), rounds
+    )
+    executed, peak = stats  # type: ignore[misc]
+    assert (executed, peak) == legacy_stats
+
+    return {
+        "n_machines": n_machines,
+        "executors_per_machine": executors,
+        "replay_jobs": len(replay_jobs),
+        "replay_tasks": tasks,
+        "replay_wall_s": replay_s,
+        "replay_legacy_wall_s": legacy_replay_s,
+        "replay_tasks_per_s": tasks / replay_s,
+        "replay_events": sim.events_processed,
+        "replay_peak_pending": sim.peak_pending,
+        "replay_makespan_s": max(r.metrics.finish_time for r in results),
+        "replay_speedup": legacy_replay_s / replay_s,
+        "kernel_jobs": len(kernel_jobs),
+        "kernel_events": executed,
+        "kernel_peak_pending": peak,
+        "kernel_wall_ms": 1e3 * kernel_s,
+        "kernel_legacy_wall_ms": 1e3 * legacy_kernel_s,
+        "events_per_s": executed / kernel_s,
+        "kernel_speedup": legacy_kernel_s / kernel_s,
+    }
+
+
+# ----------------------------------------------------------------------
 # SQL engine benchmarks (BENCH_sql.json)
 # ----------------------------------------------------------------------
 
@@ -425,6 +579,11 @@ CHECK_METRICS: dict[str, tuple[str, ...]] = {
     # to host speed, so it rides the same relative-drop machinery.
     "chaos_smoke": ("passed_fraction",),
     "parallel_replay": ("speedup",),
+    # Paper-scale replay: the kernel-vs-legacy ratio is host-relative and
+    # kernel-dominated.  replay_speedup stays ungated: the end-to-end
+    # replay dilutes the kernel with scheduling work, so its ratio is too
+    # close to 1 to separate regressions from timer noise on quick runs.
+    "scale": ("kernel_speedup",),
     "q1_aggregate": ("speedup",),
     "filter_project": ("speedup",),
     "hash_join": ("speedup",),
@@ -448,6 +607,14 @@ def compare_payloads(
     for scenario, metrics in CHECK_METRICS.items():
         old, new = committed.get(scenario), fresh.get(scenario)
         if not isinstance(old, dict) or not isinstance(new, dict):
+            continue
+        if scenario == "parallel_replay" and (
+            old.get("mode") != "process-pool" or new.get("mode") != "process-pool"
+        ):
+            # A serial-degraded run (1-CPU host, too few cells) commits
+            # speedup 1.0 by construction; gating on that degenerate
+            # number would flag any healthy multi-core run that later
+            # compares against it (or vice versa).
             continue
         for metric in metrics:
             if metric not in old or metric not in new:
@@ -490,10 +657,29 @@ def run_benchmarks(
     payload: dict[str, object] = {
         "generated_by": "python -m repro bench" + (" --quick" if quick else ""),
     }
+    # Full rounds for the two kernel scenarios: they are the cheapest to
+    # repeat and the most timer-noise-sensitive (sub-300ms best times).
     say("event engine ...")
-    payload["event_engine"] = bench_event_engine(n_events=n_events, rounds=min(rounds, 3))
+    payload["event_engine"] = bench_event_engine(n_events=n_events, rounds=rounds)
     say("cancel-heavy engine ...")
-    payload["cancel_heavy"] = bench_cancel_heavy(n_events=n_events, rounds=min(rounds, 3))
+    payload["cancel_heavy"] = bench_cancel_heavy(n_events=n_events, rounds=rounds)
+
+    def resample_kernels() -> None:
+        # Shared hosts drift by 1.3-1.5x on a timescale of minutes, which
+        # is longer than one scenario's rounds but shorter than the whole
+        # suite.  A second sample of the cheap kernel scenarios at the end
+        # of the run keeps the best-of-rounds principle while spanning the
+        # drift window; the faster sample wins.
+        say("event engine (resample) ...")
+        for key, fn in (
+            ("event_engine", bench_event_engine),
+            ("cancel_heavy", bench_cancel_heavy),
+        ):
+            first = payload[key]
+            second = fn(n_events=n_events, rounds=rounds)
+            assert isinstance(first, dict)
+            if second["events_per_s"] > first["events_per_s"]:
+                payload[key] = second
     say("terasort fast path vs legacy kernel ...")
     payload["terasort"] = bench_terasort(rounds=rounds)
     say("tracing disabled vs recording ...")
@@ -506,7 +692,39 @@ def run_benchmarks(
     payload["chaos_smoke"] = bench_chaos_smoke(
         runs=5 if quick else 10, audit=audit
     )
+    say("paper-scale trace replay ...")
+    payload["scale"] = bench_scale(quick=quick)
+    resample_kernels()
     return payload
+
+
+def run_scale_benchmarks(
+    quick: bool = False, echo: Optional[Callable[[str], None]] = None
+) -> dict[str, object]:
+    """Run only the paper-scale scenario (``--suite scale``).
+
+    Returns a payload fragment with just the ``scale`` entry; writers merge
+    it into the committed BENCH_simulator.json instead of replacing the
+    other scenarios.
+    """
+    if echo:
+        echo("paper-scale trace replay ...")
+    return {"scale": bench_scale(quick=quick)}
+
+
+def merge_payload(path: str, payload: dict[str, object]) -> dict[str, object]:
+    """Merge ``payload`` scenarios into the JSON document at ``path``.
+
+    Existing scenarios not present in ``payload`` are preserved, so a
+    single-suite run (``--suite scale``) updates its entry in place.
+    """
+    merged: dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    merged.update(payload)
+    write_payload(path, merged)
+    return merged
 
 
 def write_bench_file(

@@ -5,10 +5,13 @@ The base :class:`Tracer` is a null object: every emit method is a no-op and
 boolean check per batch (not per record) when tracing is off — the
 ``BENCH_simulator.json`` terasort rate is the guarded regression budget.
 
-:class:`RecordingTracer` collects :class:`~repro.obs.records.TraceRecord`
-objects in memory and feeds a :class:`~repro.obs.metrics.MetricsRegistry`;
-export helpers write JSON-lines or Chrome ``trace_event`` files (the latter
-loads directly in Perfetto / ``chrome://tracing``).
+:class:`RecordingTracer` appends raw tuples to a preallocated ring buffer —
+no :class:`~repro.obs.records.TraceRecord` is constructed on the hot path —
+and materializes records lazily, once, at query/export time.  The
+``BENCH_simulator.json`` ``tracing.recording_overhead_pct`` scenario is the
+regression budget for the recording path.  Export helpers write JSON-lines
+or Chrome ``trace_event`` files (the latter loads directly in Perfetto /
+``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -64,6 +67,27 @@ class Tracer:
     ) -> None:
         """Report one executed simulator event (no-op here)."""
 
+    def task_span(
+        self,
+        stage: str,
+        job_id: str,
+        index: int,
+        attempt: int,
+        plan_arrive: float,
+        data_arrive: float,
+        finish: float,
+        launch: float,
+        read: float,
+        proc: float,
+        write: float,
+    ) -> None:
+        """Record one finished task attempt (no-op here).
+
+        Specialized emit for the runtime's hottest record: positional raw
+        fields, so recording tracers can defer the name formatting and args
+        dict to materialization time.
+        """
+
     def count(self, name: str, amount: float = 1.0) -> None:
         """Bump a counter in the tracer's metrics registry (no-op here)."""
 
@@ -78,9 +102,27 @@ class Tracer:
 #: serves every simulator.
 NULL_TRACER = Tracer()
 
+#: Ring-entry tags (slot 0 of each raw tuple).
+_SPAN = 0
+_INSTANT = 1
+_ENGINE = 2
+_TASK = 3
+
+#: Default ring capacity: ~1M records (must be a power of two).  Large
+#: enough that every test/figure workload is retained in full; paper-scale
+#: engine-event firehoses wrap and drop the oldest entries (``dropped``).
+_DEFAULT_CAPACITY = 1 << 20
+
 
 class RecordingTracer(Tracer):
-    """In-memory tracer: collects records and aggregates metrics."""
+    """In-memory tracer: ring buffer of raw tuples, lazily materialized.
+
+    The emit methods store plain tuples into a preallocated ring
+    (``buf[n & mask]``), deferring all ``TraceRecord`` construction — the
+    dominant cost of the old eager tracer — to the first query or export
+    after recording.  When more than ``capacity`` records are emitted the
+    oldest are overwritten; :attr:`dropped` says how many were lost.
+    """
 
     enabled = True
 
@@ -88,11 +130,35 @@ class RecordingTracer(Tracer):
         self,
         engine_events: bool = False,
         metrics: MetricsRegistry | None = None,
+        capacity: int = _DEFAULT_CAPACITY,
     ) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two, got {capacity}")
         self.engine_events = engine_events
-        self.records: list[TraceRecord] = []
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._registry = metrics if metrics is not None else MetricsRegistry()
+        #: Completed jobs whose metrics have not been folded yet; folding
+        #: happens lazily on the first :attr:`metrics` read (completed
+        #: JobMetrics are never mutated again, so deferral is safe).
+        self._pending_jobs: list["JobMetrics"] = []
+        self._capacity = capacity
+        self._mask = capacity - 1
+        # Grown by appends until ``capacity`` entries exist, then treated as
+        # a fixed ring (``buf[n & mask]``).  Constructing the tracer stays
+        # O(1) — eagerly preallocating a million-slot list costs more than
+        # small traced runs themselves.
+        self._buf: list[tuple[Any, ...]] = []
+        #: Total records ever emitted (monotonic; drops = _n - capacity).
+        self._n = 0
+        #: Materialization cache, valid while no new record was emitted.
+        self._cache: list[TraceRecord] | None = None
+        self._cache_n = -1
+        #: Callback -> display name memo for engine events (satellite fix:
+        #: the qualname getattr used to run once per executed event).
+        self._name_memo: dict[Any, str] = {}
 
+    # ------------------------------------------------------------------
+    # Hot path: raw tuple appends, no record construction
+    # ------------------------------------------------------------------
     def span(
         self,
         cat: str,
@@ -103,10 +169,13 @@ class RecordingTracer(Tracer):
         scope: str = "",
         **args: Any,
     ) -> None:
-        """Append one span record."""
-        self.records.append(
-            TraceRecord(RecordKind.SPAN, cat, name, ts, dur, job_id, scope, args)
-        )
+        """Append one span entry to the ring."""
+        n = self._n
+        if n < self._capacity:
+            self._buf.append((_SPAN, cat, name, ts, dur, job_id, scope, args))
+        else:
+            self._buf[n & self._mask] = (_SPAN, cat, name, ts, dur, job_id, scope, args)
+        self._n = n + 1
 
     def instant(
         self,
@@ -117,34 +186,149 @@ class RecordingTracer(Tracer):
         scope: str = "",
         **args: Any,
     ) -> None:
-        """Append one instant record."""
-        self.records.append(
-            TraceRecord(RecordKind.INSTANT, cat, name, ts, None, job_id, scope, args)
-        )
+        """Append one instant entry to the ring."""
+        n = self._n
+        if n < self._capacity:
+            self._buf.append((_INSTANT, cat, name, ts, job_id, scope, args))
+        else:
+            self._buf[n & self._mask] = (_INSTANT, cat, name, ts, job_id, scope, args)
+        self._n = n + 1
 
     def on_engine_event(
         self, ts: float, callback: Callable[..., Any], priority: int
     ) -> None:
-        """Append one engine-level instant (only wired when opted in)."""
-        name = getattr(callback, "__qualname__", repr(callback))
-        self.records.append(
-            TraceRecord(
-                RecordKind.INSTANT, Category.ENGINE, name, ts, None, "", "",
-                {"priority": priority},
-            )
+        """Append one engine-level entry (only wired when opted in).
+
+        The raw callback is stored; its display name is resolved (and
+        memoized per callback) at materialization time, not per event.
+        """
+        n = self._n
+        if n < self._capacity:
+            self._buf.append((_ENGINE, callback, ts, priority))
+        else:
+            self._buf[n & self._mask] = (_ENGINE, callback, ts, priority)
+        self._n = n + 1
+
+    def task_span(
+        self,
+        stage: str,
+        job_id: str,
+        index: int,
+        attempt: int,
+        plan_arrive: float,
+        data_arrive: float,
+        finish: float,
+        launch: float,
+        read: float,
+        proc: float,
+        write: float,
+    ) -> None:
+        """Append one task-attempt entry (raw fields; formatted lazily)."""
+        n = self._n
+        entry = (
+            _TASK, stage, job_id, index, attempt, plan_arrive, data_arrive,
+            finish, launch, read, proc, write,
         )
+        if n < self._capacity:
+            self._buf.append(entry)
+        else:
+            self._buf[n & self._mask] = entry
+        self._n = n + 1
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Bump a counter in the metrics registry."""
-        self.metrics.counter(name).inc(amount)
+        self._registry.counter(name).inc(amount)
 
     def gauge_max(self, name: str, value: float) -> None:
         """Track a running maximum in the metrics registry."""
-        self.metrics.gauge(name).max(value)
+        self._registry.gauge(name).max(value)
 
     def collect_job_metrics(self, metrics: "JobMetrics") -> None:
-        """Fold one completed job's metrics into the registry."""
-        collect_job(self.metrics, metrics)
+        """Queue one completed job's metrics for lazy folding."""
+        self._pending_jobs.append(metrics)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry, with all queued job metrics folded in."""
+        pending = self._pending_jobs
+        if pending:
+            for job_metrics in pending:
+                collect_job(self._registry, job_metrics)
+            pending.clear()
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained records in emission order (materialized lazily).
+
+        The result is cached until the next emit, so repeated queries and
+        exports pay the construction cost once.  Callers must not mutate
+        the returned list.
+        """
+        if self._cache is None or self._cache_n != self._n:
+            self._cache = self._materialize()
+            self._cache_n = self._n
+        return self._cache
+
+    @property
+    def dropped(self) -> int:
+        """Records overwritten because the ring wrapped (oldest first)."""
+        return max(0, self._n - self._capacity)
+
+    def _materialize(self) -> list[TraceRecord]:
+        """Build TraceRecords for the live window of the ring."""
+        n = self._n
+        buf = self._buf
+        mask = self._mask
+        memo = self._name_memo
+        out: list[TraceRecord] = []
+        for i in range(max(0, n - self._capacity), n):
+            entry = buf[i & mask]
+            tag = entry[0]
+            if tag == _TASK:
+                (_, stage, job_id, index, attempt, plan_arrive, data_arrive,
+                 finish, launch, read, proc, write) = entry
+                idle = min(data_arrive, finish) - plan_arrive
+                out.append(TraceRecord(
+                    RecordKind.SPAN, Category.TASK, f"{stage}[{index}]",
+                    plan_arrive, finish - plan_arrive, job_id, stage,
+                    {
+                        # ts + dur can round away from the exact finish
+                        # time; consumers that need the precise interval
+                        # (task_intervals) read this.
+                        "finish": finish,
+                        "attempt": attempt,
+                        "idle": idle if idle > 0 else 0.0,
+                        "launch": launch,
+                        "read": read,
+                        "proc": proc,
+                        "write": write,
+                    },
+                ))
+            elif tag == _SPAN:
+                out.append(TraceRecord(
+                    RecordKind.SPAN, entry[1], entry[2], entry[3], entry[4],
+                    entry[5], entry[6], entry[7],
+                ))
+            elif tag == _INSTANT:
+                out.append(TraceRecord(
+                    RecordKind.INSTANT, entry[1], entry[2], entry[3], None,
+                    entry[4], entry[5], entry[6],
+                ))
+            else:
+                callback = entry[1]
+                name = memo.get(callback)
+                if name is None:
+                    name = getattr(callback, "__qualname__", None) or repr(callback)
+                    memo[callback] = name
+                out.append(TraceRecord(
+                    RecordKind.INSTANT, Category.ENGINE, name, entry[2], None,
+                    "", "", {"priority": entry[3]},
+                ))
+        return out
 
     # ------------------------------------------------------------------
     # Queries and export
@@ -182,4 +366,4 @@ class RecordingTracer(Tracer):
         return path
 
     def __len__(self) -> int:
-        return len(self.records)
+        return min(self._n, self._capacity)

@@ -15,7 +15,16 @@ from .config import (
     MiB,
 )
 from .disk import DiskModel
-from .engine import Event, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, SimulationError, Simulator
+from .engine import (
+    Event,
+    LegacyEvent,
+    LegacySimulator,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    SimulationError,
+    Simulator,
+)
 from .failures import (
     FailureKind,
     FailurePlan,
@@ -41,6 +50,8 @@ __all__ = [
     "FailureSpec",
     "GiB",
     "KiB",
+    "LegacyEvent",
+    "LegacySimulator",
     "Machine",
     "MachineState",
     "MiB",

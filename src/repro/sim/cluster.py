@@ -56,14 +56,24 @@ class Executor:
         return self.state == ExecutorState.IDLE and self.machine.accepts_tasks
 
     def _transition(self, new_state: ExecutorState) -> None:
-        """Move to ``new_state``, keeping the machine's idle count exact."""
+        """Move to ``new_state``, keeping the machine's idle bookkeeping
+        (count and free stack) exact."""
         was_idle = self.state == ExecutorState.IDLE
         now_idle = new_state == ExecutorState.IDLE
         self.state = new_state
         if was_idle and not now_idle:
             self.machine._adjust_idle(-1)
+            stack = self.machine._free_stack
+            # Grants consume each machine's stack from the top, so the
+            # common case is a pop; the remove() fallback covers arbitrary
+            # interleavings (revocation, locality overlap).
+            if stack and stack[-1] is self:
+                stack.pop()
+            else:
+                stack.remove(self)
         elif now_idle and not was_idle:
             self.machine._adjust_idle(+1)
+            self.machine._free_stack.append(self)
 
     def assign(self, task: object) -> None:
         """Reserve this executor for a task (must be idle)."""
@@ -111,6 +121,10 @@ class Machine:
         self.executors = [
             Executor(machine_id * 10_000 + i, self) for i in range(n_executors)
         ]
+        #: Exact stack of idle executors, maintained by every state
+        #: transition; lets the scheduler grab free slots without scanning
+        #: the executor list (O(grant) instead of O(executors)).
+        self._free_stack: list[Executor] = list(self.executors)
         #: Attached by the runtime (a ``repro.core.cache_worker.CacheWorker``).
         self.cache_worker: Optional[object] = None
         #: Running count of tasks currently in a network/disk-heavy phase;
@@ -138,7 +152,7 @@ class Machine:
         """Idle executors, empty when the machine is quarantined."""
         if not self.accepts_tasks:
             return []
-        return [e for e in self.executors if e.state == ExecutorState.IDLE]
+        return list(self._free_stack)
 
     def busy_count(self) -> int:
         """Executors currently assigned or running."""
@@ -162,6 +176,8 @@ class Machine:
         if self.state == MachineState.HEALTHY or self.state == MachineState.UNHEALTHY:
             self._withdraw_from_pool()
             self.state = MachineState.READ_ONLY
+            if self._cluster is not None:
+                self._cluster._schedulable_cache = None
 
     def mark_healthy(self) -> None:
         """Recover a quarantined/unhealthy machine: accept tasks again and
@@ -170,12 +186,15 @@ class Machine:
             self.state = MachineState.HEALTHY
             if self._cluster is not None:
                 self._cluster._free_count += self.idle_count
+                self._cluster._schedulable_cache = None
 
     def mark_dead(self) -> None:
         """Kill the machine and revoke all of its executors."""
         if self.state != MachineState.DEAD:
             self._withdraw_from_pool()
             self.state = MachineState.DEAD
+            if self._cluster is not None:
+                self._cluster._schedulable_cache = None
             for executor in self.executors:
                 executor.revoke()
 
@@ -206,6 +225,12 @@ class Cluster:
             machine._cluster = self
             if machine.accepts_tasks:
                 self._free_count += machine.idle_count
+        #: Machine membership is fixed after construction, so the slot total
+        #: is a constant (queried on every request validation).
+        self._total_executors = sum(len(m.executors) for m in machines)
+        #: Cache of :meth:`schedulable_machines`, invalidated by the
+        #: ``mark_*`` health transitions.  Callers must not mutate it.
+        self._schedulable_cache: Optional[list[Machine]] = None
 
     @classmethod
     def build(
@@ -239,12 +264,21 @@ class Cluster:
         return [m for m in self.machines if m.alive]
 
     def schedulable_machines(self) -> list[Machine]:
-        """Machines accepting new tasks (healthy only)."""
-        return [m for m in self.machines if m.accepts_tasks]
+        """Machines accepting new tasks (healthy only).
+
+        The list is cached between health transitions; callers must treat
+        it as read-only.
+        """
+        cached = self._schedulable_cache
+        if cached is None:
+            cached = self._schedulable_cache = [
+                m for m in self.machines if m.accepts_tasks
+            ]
+        return cached
 
     def total_executors(self) -> int:
-        """Executor slots across all machines."""
-        return sum(len(m.executors) for m in self.machines)
+        """Executor slots across all machines (fixed after construction)."""
+        return self._total_executors
 
     def free_executor_count(self) -> int:
         """Idle executors on machines that accept tasks (O(1))."""

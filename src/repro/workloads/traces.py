@@ -195,6 +195,47 @@ def trace_statistics(jobs: list[Job]) -> dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# Paper-scale replay (the `repro bench --suite scale` workload)
+# ----------------------------------------------------------------------
+
+#: Cluster size of the production evaluation (Section V: ~2,000 machines).
+PAPER_SCALE_MACHINES = 2000
+
+#: Executor slots per machine for the scale replay.  Small on purpose: the
+#: paper's clusters run many more slots, but the bench measures *scheduling*
+#: throughput, and free-slot pressure is what exercises the gang scheduler.
+PAPER_SCALE_EXECUTORS = 4
+
+
+def paper_scale_config(
+    n_jobs: int = 2000, seed: int = 7, max_stage_tasks: int = 700
+) -> TraceConfig:
+    """Trace knobs for the 2,000-machine calibrated replay.
+
+    Same Fig. 8 marginals as :class:`TraceConfig`, with arrivals compressed
+    so a 2,000-machine cluster stays busy: the paper replays one day of
+    production load, the bench replays the same shape in simulated minutes.
+    ``max_stage_tasks`` caps the large-job class so reduced (quick/CI)
+    replays on small clusters can still gang-schedule every graphlet.
+    """
+    return TraceConfig(
+        n_jobs=n_jobs,
+        mean_interarrival=0.05,
+        max_stage_tasks=max_stage_tasks,
+        seed=seed,
+    )
+
+
+def paper_scale_trace(
+    n_jobs: int = 2000, seed: int = 7, max_stage_tasks: int = 700
+) -> list[Job]:
+    """The calibrated trace the scale bench replays (Fig. 8 marginals)."""
+    return generate_trace(
+        paper_scale_config(n_jobs=n_jobs, seed=seed, max_stage_tasks=max_stage_tasks)
+    )
+
+
+# ----------------------------------------------------------------------
 # Fig. 3: four production-cluster workload mixes
 # ----------------------------------------------------------------------
 

@@ -67,3 +67,43 @@ def test_gated_metrics_are_relative_only():
     for metrics in CHECK_METRICS.values():
         assert all("per_s" not in metric and "ms" not in metric
                    for metric in metrics)
+
+
+def test_parallel_replay_serial_mode_skips_speedup_gate():
+    # A serial-degraded run (1-CPU host) commits speedup 1.0 by
+    # construction; neither direction of the comparison may gate on it.
+    pooled = {"parallel_replay": {"speedup": 2.5, "mode": "process-pool"}}
+    degraded = {"parallel_replay": {"speedup": 1.0, "mode": "serial"}}
+    assert compare_payloads(pooled, degraded) == []
+    assert compare_payloads(degraded, pooled) == []
+    assert compare_payloads(degraded, degraded) == []
+
+
+def test_parallel_replay_pooled_runs_still_gated():
+    committed = {"parallel_replay": {"speedup": 2.5, "mode": "process-pool"}}
+    fresh = {"parallel_replay": {"speedup": 1.2, "mode": "process-pool"}}
+    problems = compare_payloads(committed, fresh)
+    assert len(problems) == 1
+    assert "parallel_replay.speedup" in problems[0]
+
+
+def test_scale_kernel_speedup_is_gated():
+    committed = {"scale": {"kernel_speedup": 2.5, "events_per_s": 4e5}}
+    fresh = {"scale": {"kernel_speedup": 1.0, "events_per_s": 1e5}}
+    problems = compare_payloads(committed, fresh)
+    assert len(problems) == 1
+    assert "scale.kernel_speedup" in problems[0]
+
+
+def test_merge_payload_preserves_other_scenarios(tmp_path):
+    import json
+
+    from repro.experiments.bench import merge_payload, write_payload
+
+    path = str(tmp_path / "bench.json")
+    write_payload(path, {"terasort": {"speedup": 2.0}, "scale": {"kernel_speedup": 1.0}})
+    merged = merge_payload(path, {"scale": {"kernel_speedup": 2.5}})
+    assert merged["terasort"] == {"speedup": 2.0}
+    assert merged["scale"] == {"kernel_speedup": 2.5}
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == merged

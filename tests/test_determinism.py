@@ -119,3 +119,96 @@ def test_tracing_does_not_perturb_simulation(make_policy, with_failures, fast_pa
     assert plain_rt.busy_intervals == traced_rt.busy_intervals
     assert plain_rt.admin.stats.__dict__ == traced_rt.admin.stats.__dict__
     assert tracer.task_intervals() == traced_rt.busy_intervals
+
+
+# ----------------------------------------------------------------------
+# Differential kernel property: array kernel vs legacy oracle
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.sim.engine import LegacySimulator, Simulator  # noqa: E402
+
+_DELAYS = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+#: One kernel operation: mirrors the full public surface the runtime uses.
+_KERNEL_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), _DELAYS, st.sampled_from([0, 10, 20])),
+        st.tuples(st.just("batch"), st.lists(_DELAYS, max_size=12)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=255)),
+        st.tuples(st.just("run_until"), _DELAYS),
+        st.just(("run",)),
+        st.just(("step",)),
+        st.just(("clear",)),
+    ),
+    max_size=40,
+)
+
+
+def _recorder(log: list, tag: int, sim) -> object:
+    def callback() -> None:
+        log.append((tag, sim.now))
+    return callback
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_KERNEL_OPS)
+def test_kernels_agree_on_random_interleavings(ops):
+    """The array-backed kernel and the legacy object-heap oracle must be
+    observationally identical under any schedule/cancel/clear/run
+    interleaving: same execution order, same clock, same pending counts."""
+    sims = (Simulator(), LegacySimulator())
+    logs: tuple[list, list] = ([], [])
+    handles: tuple[list, list] = ([], [])
+    tag = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "schedule":
+            _, delay, prio = op
+            for sim, log, hs in zip(sims, logs, handles):
+                hs.append(
+                    sim.schedule(delay, _recorder(log, tag, sim), priority=prio)
+                )
+            tag += 1
+        elif kind == "batch":
+            _, delays = op
+            for sim, log in zip(sims, logs):
+                sim.schedule_batch(
+                    [
+                        (delay, _recorder(log, tag + i, sim), ())
+                        for i, delay in enumerate(delays)
+                    ]
+                )
+            tag += len(delays)
+        elif kind == "cancel":
+            _, index = op
+            if handles[0]:
+                for hs in handles:
+                    hs[index % len(hs)].cancel()
+        elif kind == "run_until":
+            _, delta = op
+            for sim in sims:
+                sim.run(until=sim.now + delta)
+        elif kind == "run":
+            for sim in sims:
+                sim.run()
+        elif kind == "step":
+            stepped = [sim.step() for sim in sims]
+            assert stepped[0] == stepped[1]
+        else:  # clear
+            cleared = [sim.clear_pending() for sim in sims]
+            assert cleared[0] == cleared[1]
+        assert sims[0].now == sims[1].now
+        assert sims[0].pending_events() == sims[1].pending_events()
+        assert logs[0] == logs[1]
+    for sim in sims:
+        sim.run()
+    assert sims[0].now == sims[1].now
+    assert logs[0] == logs[1]
+    assert sims[0].events_processed == sims[1].events_processed
+    assert sims[0].peek_time() == sims[1].peek_time()
+    assert sims[0].peak_pending == sims[1].peak_pending

@@ -1,10 +1,16 @@
-"""Tests for the discrete-event simulation kernel."""
+"""Tests for the discrete-event simulation kernel.
+
+Every behavioural test is parametrized over both kernels — the array-backed
+:class:`Simulator` and the object-heap :class:`LegacySimulator` oracle — so
+the two can never drift apart silently.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.sim.engine import (
+    LegacySimulator,
     PRIORITY_HIGH,
     PRIORITY_LOW,
     PRIORITY_NORMAL,
@@ -12,9 +18,16 @@ from repro.sim.engine import (
     Simulator,
 )
 
+KERNELS = [Simulator, LegacySimulator]
 
-def test_events_run_in_time_order():
-    sim = Simulator()
+
+@pytest.fixture(params=KERNELS, ids=["array", "legacy"])
+def make_sim(request):
+    return request.param
+
+
+def test_events_run_in_time_order(make_sim):
+    sim = make_sim()
     seen: list[str] = []
     sim.schedule(2.0, seen.append, "b")
     sim.schedule(1.0, seen.append, "a")
@@ -23,8 +36,8 @@ def test_events_run_in_time_order():
     assert seen == ["a", "b", "c"]
 
 
-def test_now_advances_to_event_time():
-    sim = Simulator()
+def test_now_advances_to_event_time(make_sim):
+    sim = make_sim()
     times: list[float] = []
     sim.schedule(1.5, lambda: times.append(sim.now))
     sim.schedule(4.25, lambda: times.append(sim.now))
@@ -33,8 +46,8 @@ def test_now_advances_to_event_time():
     assert sim.now == 4.25
 
 
-def test_same_time_orders_by_priority():
-    sim = Simulator()
+def test_same_time_orders_by_priority(make_sim):
+    sim = make_sim()
     seen: list[str] = []
     sim.schedule(1.0, seen.append, "low", priority=PRIORITY_LOW)
     sim.schedule(1.0, seen.append, "high", priority=PRIORITY_HIGH)
@@ -43,8 +56,8 @@ def test_same_time_orders_by_priority():
     assert seen == ["high", "normal", "low"]
 
 
-def test_same_time_same_priority_is_fifo():
-    sim = Simulator()
+def test_same_time_same_priority_is_fifo(make_sim):
+    sim = make_sim()
     seen: list[int] = []
     for i in range(5):
         sim.schedule(1.0, seen.append, i)
@@ -52,8 +65,8 @@ def test_same_time_same_priority_is_fifo():
     assert seen == [0, 1, 2, 3, 4]
 
 
-def test_cancelled_event_does_not_run():
-    sim = Simulator()
+def test_cancelled_event_does_not_run(make_sim):
+    sim = make_sim()
     seen: list[str] = []
     event = sim.schedule(1.0, seen.append, "cancelled")
     sim.schedule(2.0, seen.append, "kept")
@@ -62,8 +75,8 @@ def test_cancelled_event_does_not_run():
     assert seen == ["kept"]
 
 
-def test_schedule_during_run():
-    sim = Simulator()
+def test_schedule_during_run(make_sim):
+    sim = make_sim()
     seen: list[str] = []
 
     def first() -> None:
@@ -76,8 +89,8 @@ def test_schedule_during_run():
     assert sim.now == 2.0
 
 
-def test_schedule_in_past_raises():
-    sim = Simulator()
+def test_schedule_in_past_raises(make_sim):
+    sim = make_sim()
     sim.schedule(5.0, lambda: None)
     sim.run()
     with pytest.raises(ValueError):
@@ -86,8 +99,8 @@ def test_schedule_in_past_raises():
         sim.schedule_at(1.0, lambda: None)
 
 
-def test_run_until_stops_clock():
-    sim = Simulator()
+def test_run_until_stops_clock(make_sim):
+    sim = make_sim()
     seen: list[str] = []
     sim.schedule(1.0, seen.append, "early")
     sim.schedule(10.0, seen.append, "late")
@@ -98,22 +111,22 @@ def test_run_until_stops_clock():
     assert seen == ["early", "late"]
 
 
-def test_run_until_with_empty_queue_advances_clock():
-    sim = Simulator()
+def test_run_until_with_empty_queue_advances_clock(make_sim):
+    sim = make_sim()
     sim.run(until=7.0)
     assert sim.now == 7.0
 
 
-def test_peek_time_skips_cancelled():
-    sim = Simulator()
+def test_peek_time_skips_cancelled(make_sim):
+    sim = make_sim()
     event = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     event.cancel()
     assert sim.peek_time() == 2.0
 
 
-def test_pending_events_counts_live_only():
-    sim = Simulator()
+def test_pending_events_counts_live_only(make_sim):
+    sim = make_sim()
     e1 = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     assert sim.pending_events() == 2
@@ -121,16 +134,16 @@ def test_pending_events_counts_live_only():
     assert sim.pending_events() == 1
 
 
-def test_step_returns_false_when_empty():
-    sim = Simulator()
+def test_step_returns_false_when_empty(make_sim):
+    sim = make_sim()
     assert sim.step() is False
     sim.schedule(1.0, lambda: None)
     assert sim.step() is True
     assert sim.step() is False
 
 
-def test_max_events_guard():
-    sim = Simulator()
+def test_max_events_guard(make_sim):
+    sim = make_sim()
 
     def loop() -> None:
         sim.schedule(0.0, loop)
@@ -140,31 +153,31 @@ def test_max_events_guard():
         sim.run(max_events=100)
 
 
-def test_rng_is_deterministic_per_seed():
-    a = Simulator(seed=42).rng.random()
-    b = Simulator(seed=42).rng.random()
-    c = Simulator(seed=43).rng.random()
+def test_rng_is_deterministic_per_seed(make_sim):
+    a = make_sim(seed=42).rng.random()
+    b = make_sim(seed=42).rng.random()
+    c = make_sim(seed=43).rng.random()
     assert a == b
     assert a != c
 
 
-def test_events_processed_counter():
-    sim = Simulator()
+def test_events_processed_counter(make_sim):
+    sim = make_sim()
     for _ in range(4):
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 4
 
 
-def test_zero_delay_event_runs_at_now():
-    sim = Simulator()
+def test_zero_delay_event_runs_at_now(make_sim):
+    sim = make_sim()
     sim.schedule(3.0, lambda: sim.schedule(0.0, lambda: None))
     sim.run()
     assert sim.now == 3.0
 
 
-def test_run_not_reentrant():
-    sim = Simulator()
+def test_run_not_reentrant(make_sim):
+    sim = make_sim()
     captured: list[Exception] = []
 
     def reenter() -> None:
@@ -178,9 +191,133 @@ def test_run_not_reentrant():
     assert len(captured) == 1
 
 
-def test_callback_args_passed_through():
-    sim = Simulator()
+def test_callback_args_passed_through(make_sim):
+    sim = make_sim()
     seen: list[tuple] = []
     sim.schedule(1.0, lambda *a: seen.append(a), 1, "x", None)
     sim.run()
     assert seen == [(1, "x", None)]
+
+
+# ----------------------------------------------------------------------
+# Batched scheduling
+# ----------------------------------------------------------------------
+
+def test_schedule_batch_runs_in_order(make_sim):
+    sim = make_sim()
+    seen: list[str] = []
+    n = sim.schedule_batch([
+        (2.0, seen.append, ("b",)),
+        (1.0, seen.append, ("a",)),
+        (2.0, seen.append, ("c",)),
+    ])
+    assert n == 3
+    assert sim.pending_events() == 3
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 2.0
+
+
+def test_schedule_batch_interleaves_with_singles(make_sim):
+    sim = make_sim()
+    seen: list[str] = []
+    sim.schedule(1.5, seen.append, "single")
+    sim.schedule_batch([(float(i), seen.append, (f"b{i}",)) for i in range(1, 4)])
+    sim.run()
+    assert seen == ["b1", "single", "b2", "b3"]
+
+
+def test_schedule_batch_large_batch_heapifies(make_sim):
+    sim = make_sim()
+    seen: list[int] = []
+    sim.schedule_batch(
+        [(float((7 * i) % 50), seen.append, (i,)) for i in range(200)]
+    )
+    sim.run()
+    assert seen == sorted(range(200), key=lambda i: (float((7 * i) % 50), i))
+
+
+def test_schedule_batch_rejects_negative_delay(make_sim):
+    sim = make_sim()
+    with pytest.raises(ValueError):
+        sim.schedule_batch([(-0.5, lambda: None, ())])
+
+
+def test_peak_pending_high_water_mark(make_sim):
+    sim = make_sim()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.peak_pending == 5
+    assert sim.pending_events() == 0
+
+
+# ----------------------------------------------------------------------
+# clear_pending: abandoned handles must detach (regression)
+# ----------------------------------------------------------------------
+
+def test_clear_pending_returns_live_count_and_empties(make_sim):
+    sim = make_sim()
+    sim.schedule(1.0, lambda: None)
+    doomed = sim.schedule(2.0, lambda: None)
+    doomed.cancel()
+    assert sim.clear_pending() == 1
+    assert sim.pending_events() == 0
+    assert sim.peek_time() is None
+
+
+def test_cancel_after_clear_pending_is_noop(make_sim):
+    """Regression: cancelling a handle abandoned by ``clear_pending`` used to
+    drive ``_live`` negative and could trigger bogus compaction."""
+    sim = make_sim()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    sim.clear_pending()
+    for event in events:
+        event.cancel()  # must not corrupt the live counter
+    assert sim.pending_events() == 0
+    # The simulator must stay fully usable afterwards.
+    seen: list[str] = []
+    sim.schedule(1.0, seen.append, "ok")
+    assert sim.pending_events() == 1
+    sim.run()
+    assert seen == ["ok"]
+    assert sim.pending_events() == 0
+
+
+def test_cancel_of_executed_event_is_noop(make_sim):
+    sim = make_sim()
+    seen: list[str] = []
+    event = sim.schedule(1.0, seen.append, "ran")
+    sim.schedule(2.0, seen.append, "later")
+    sim.run(until=1.5)
+    event.cancel()  # already executed: stale handle
+    assert sim.pending_events() == 1
+    sim.run()
+    assert seen == ["ran", "later"]
+
+
+def test_stale_handle_does_not_cancel_recycled_slot():
+    """Array kernel: a slot freed by execution may be recycled for a new
+    event; the old handle's seq no longer matches and must not kill it."""
+    sim = Simulator()
+    seen: list[str] = []
+    old = sim.schedule(1.0, seen.append, "first")
+    sim.run()
+    # The new event recycles the slot the first one used.
+    sim.schedule(1.0, seen.append, "second")
+    old.cancel()
+    sim.run()
+    assert seen == ["first", "second"]
+
+
+def test_compaction_preserves_order_and_counts(make_sim):
+    sim = make_sim()
+    seen: list[int] = []
+    events = [sim.schedule(float(i % 13) + 1.0, seen.append, i) for i in range(400)]
+    for i, event in enumerate(events):
+        if i % 4 != 0:
+            event.cancel()  # 75% dead => compaction triggers
+    kept = [i for i in range(400) if i % 4 == 0]
+    assert sim.pending_events() == len(kept)
+    sim.run()
+    assert seen == sorted(kept, key=lambda i: (float(i % 13) + 1.0, i))
