@@ -27,19 +27,31 @@ Sub-packages:
   an adaptive dispatcher (:func:`repro.api.run_sql`).
 * :mod:`repro.chaos` — deterministic chaos engine: seeded multi-failure
   campaigns, invariant checking, recovery watchdogs, and seed shrinking.
+* :mod:`repro.service` — the multi-tenant job-submission gateway behind
+  :class:`repro.api.Service`: Poisson/trace arrivals, per-tenant quotas,
+  admission control, weighted fair-share + earliest-deadline-first
+  dispatch (PAPER.md §VI: Swift as a hosted service).
 * :mod:`repro.workloads` — TPC-H, Terasort, and trace-calibrated workloads.
 * :mod:`repro.baselines` — Spark, JetScope, and Bubble Execution models.
 * :mod:`repro.experiments` — harnesses regenerating every table/figure.
 """
 
 from .api import (
+    AdmissionPolicy,
     ChaosEngine,
     ChaosReport,
     QueryOutcome,
+    QueuePolicy,
     Runtime,
     RuntimeConfig,
+    Service,
+    ServiceConfig,
+    ServiceResult,
     Simulation,
     SimulationResult,
+    SubmitHandle,
+    TenantReport,
+    TenantSpec,
     TraceConfig,
     run_sql,
     sql_engine_for,
@@ -81,6 +93,7 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "ChaosEngine",
     "ChaosReport",
     "Cluster",
@@ -100,9 +113,13 @@ __all__ = [
     "Operator",
     "OperatorKind",
     "QueryOutcome",
+    "QueuePolicy",
     "RecordingTracer",
     "Runtime",
     "RuntimeConfig",
+    "Service",
+    "ServiceConfig",
+    "ServiceResult",
     "ShuffleScheme",
     "SimConfig",
     "Simulation",
@@ -110,6 +127,9 @@ __all__ = [
     "Simulator",
     "Stage",
     "SubmissionOrder",
+    "SubmitHandle",
+    "TenantReport",
+    "TenantSpec",
     "SwiftPartitioner",
     "SwiftRuntime",
     "TraceConfig",

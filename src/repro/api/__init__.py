@@ -6,6 +6,11 @@ This package is the documented entry point to the reproduction: build a
 :class:`SimulationResult` objects back — optionally with a structured trace
 (:class:`TraceConfig`) exported for Perfetto or JSONL consumers.
 
+Multi-tenant runs go through :class:`Service` instead: arrivals stream in
+through a :class:`repro.service.JobGateway` (quotas, admission control,
+earliest-deadline-first dispatch) and :class:`ServiceResult` carries
+per-tenant time-in-queue / makespan / deadline-overrun percentile reports.
+
 Deep imports (``repro.core``, ``repro.sim``, ...) keep working, but new
 code and the docs use this facade::
 
@@ -28,8 +33,10 @@ from ..core.policies import (
     SubmissionOrder,
     swift_policy,
 )
-from ..core.runtime import JobResult
+from ..core.runtime import JobResult, RuntimeDrainedError
 from ..core.shuffle import ShuffleScheme
+from ..service.policy import AdmissionPolicy, QueuePolicy, TenantSpec
+from ..service.stats import TenantReport
 from ..obs import (
     MetricsRegistry,
     RecordingTracer,
@@ -39,10 +46,12 @@ from ..obs import (
 from ..sim.config import SimConfig
 from ..sim.failures import FailureKind, FailurePlan, FailureSpec
 from .config import RuntimeConfig
+from .service import Service, ServiceConfig, ServiceResult, SubmitHandle
 from .simulation import Simulation, SimulationResult, TraceConfig, Runtime
 from .sql import QueryOutcome, run_sql, sql_engine_for
 
 __all__ = [
+    "AdmissionPolicy",
     "AuditError",
     "AuditViolation",
     "Campaign",
@@ -64,17 +73,25 @@ __all__ = [
     "MetricsRegistry",
     "PhaseBreakdown",
     "QueryOutcome",
+    "QueuePolicy",
     "RecordingTracer",
     "ResourceLedger",
     "Runtime",
     "RuntimeConfig",
+    "RuntimeDrainedError",
+    "Service",
+    "ServiceConfig",
+    "ServiceResult",
     "ShuffleScheme",
     "SimConfig",
     "Simulation",
     "SimulationResult",
     "Stage",
     "SubmissionOrder",
+    "SubmitHandle",
     "TaskTiming",
+    "TenantReport",
+    "TenantSpec",
     "TraceConfig",
     "TraceRecord",
     "Tracer",

@@ -1,0 +1,359 @@
+"""The ``Service`` facade: multi-tenant submission over one runtime.
+
+``Service`` is the stable front end of :mod:`repro.service` — the
+simulated counterpart of submitting jobs to Swift as a hosted service
+(PAPER.md §I/§VI) instead of handing the runtime a pre-built batch::
+
+    from repro.api import AdmissionPolicy, Service, ServiceConfig, TenantSpec
+    from repro.workloads.traces import tenant_arrival_trace
+
+    config = ServiceConfig(
+        tenants=[TenantSpec(name="bi", weight=2.0, max_concurrent_jobs=8)],
+        admission=AdmissionPolicy(max_pool_pressure=4.0),
+    )
+    service = Service(config)
+    service.submit_trace(tenant_arrival_trace(n_tenants=50, n_jobs=200))
+    result = service.run()
+    print(result.tenants["bi"].queue_time["p95"], result.rejected)
+
+Jobs flow: arrival event -> admission (quota / pool-pressure checks) ->
+per-tenant EDF queue -> weighted fair-share dispatch into the runtime's
+unified ``submit`` path -> completion hook -> per-tenant percentile
+reports.  Everything is driven by simulator events, so a given arrival
+trace + policy configuration replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from ..core.dag import Job
+from ..core.runtime import JobResult
+from ..obs.metrics import MetricsRegistry, collect_jobs
+from ..obs.records import TraceRecord
+from ..obs.tracer import RecordingTracer
+from ..service.gateway import JobEntry, JobGateway
+from ..service.policy import (
+    AdmissionPolicy,
+    QueuePolicy,
+    TenantSpec,
+    default_tenant_template,
+)
+from ..service.stats import TenantReport, distribution
+from .config import RuntimeConfig
+from .simulation import Runtime, TraceOption, _resolve_tracer
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to build a runnable multi-tenant service.
+
+    Wraps a :class:`RuntimeConfig` (cluster + policy + calibration) with
+    the gateway's tenant roster, admission policy, and queueing policy.
+    Round-trips through :meth:`to_dict`/:meth:`from_dict` like every
+    other facade config.
+    """
+
+    #: Cluster/runtime configuration the service runs on.
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Pre-registered tenants (quotas, weights, priorities).
+    tenants: list[TenantSpec] = field(default_factory=list)
+    #: When arrivals are rejected instead of queued.
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    #: How queued arrivals are ordered for dispatch.
+    queue: QueuePolicy = field(default_factory=QueuePolicy)
+    #: Quota template applied when an unknown tenant auto-registers.
+    default_tenant: TenantSpec = field(default_factory=default_tenant_template)
+    #: Auto-register unknown tenants (False rejects them on arrival).
+    auto_register: bool = True
+
+    def validate(self) -> "ServiceConfig":
+        """Validate every field; returns self so calls can chain."""
+        self.runtime.validate()
+        seen: set[str] = set()
+        for spec in self.tenants:
+            spec.validate()
+            if spec.name in seen:
+                raise ValueError(f"duplicate tenant {spec.name!r}")
+            seen.add(spec.name)
+        self.admission.validate()
+        self.queue.validate()
+        self.default_tenant.validate()
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to a JSON-serializable document (see :meth:`from_dict`)."""
+        return {
+            "runtime": self.runtime.to_dict(),
+            "tenants": [spec.to_dict() for spec in self.tenants],
+            "admission": self.admission.to_dict(),
+            "queue": self.queue.to_dict(),
+            "default_tenant": self.default_tenant.to_dict(),
+            "auto_register": self.auto_register,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServiceConfig":
+        """Rebuild a validated config from :meth:`to_dict` output."""
+        config = cls(
+            runtime=RuntimeConfig.from_dict(payload.get("runtime", {})),
+            tenants=[
+                TenantSpec.from_dict(item) for item in payload.get("tenants", [])
+            ],
+            admission=AdmissionPolicy.from_dict(payload.get("admission", {})),
+            queue=QueuePolicy.from_dict(payload.get("queue", {})),
+            default_tenant=TenantSpec.from_dict(
+                payload.get("default_tenant", default_tenant_template().to_dict())
+            ),
+            auto_register=bool(payload.get("auto_register", True)),
+        )
+        return config.validate()
+
+
+class SubmitHandle:
+    """A live view of one submitted arrival; resolves after ``run()``."""
+
+    def __init__(self, entry: JobEntry) -> None:
+        self._entry = entry
+
+    @property
+    def job_id(self) -> str:
+        """The submitted job's identifier."""
+        return self._entry.job_id
+
+    @property
+    def tenant(self) -> str:
+        """The tenant the arrival was attributed to."""
+        return self._entry.tenant
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The resolved absolute deadline, if any."""
+        return self._entry.deadline
+
+    @property
+    def status(self) -> str:
+        """``pending``/``queued``/``running``/``completed``/``failed``/``rejected``."""
+        return self._entry.status
+
+    @property
+    def rejected(self) -> bool:
+        """True when admission control shed this arrival."""
+        return self._entry.status == "rejected"
+
+    @property
+    def reject_reason(self) -> str:
+        """Why admission rejected it (empty when admitted)."""
+        return self._entry.reject_reason
+
+    @property
+    def queue_time(self) -> float:
+        """Seconds spent queued at the gateway (nan until dispatched)."""
+        return self._entry.queue_time
+
+    @property
+    def makespan(self) -> float:
+        """Arrival-to-finish seconds (nan until finished)."""
+        return self._entry.makespan
+
+    @property
+    def deadline_overrun(self) -> float:
+        """Seconds finished past the deadline (0 when met or no SLO)."""
+        return self._entry.overrun
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SubmitHandle {self.job_id} tenant={self.tenant} {self.status}>"
+
+
+@dataclass
+class ServiceResult:
+    """Typed outcome of one :meth:`Service.run` call."""
+
+    #: Per-job runtime results, in completion order (rejected jobs absent).
+    results: list[JobResult]
+    #: Per-tenant percentile reports, keyed and sorted by tenant name.
+    tenants: dict[str, TenantReport] = field(default_factory=dict)
+    #: The gateway's full per-arrival ledger, in submission order.
+    entries: list[JobEntry] = field(default_factory=list)
+    #: Trace records of the run (empty when tracing was disabled).
+    trace: list[TraceRecord] = field(default_factory=list)
+    #: Aggregated counters/gauges/histograms of the run.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Files written by the trace export step.
+    trace_files: list[str] = field(default_factory=list)
+    #: Resource-accounting summary (``None`` unless auditing was on).
+    audit: Optional[dict[str, object]] = None
+    #: Deterministic per-job queue-time table (CSV text).
+    csv: str = ""
+
+    @property
+    def submitted(self) -> int:
+        """Total arrivals the gateway saw."""
+        return len(self.entries)
+
+    @property
+    def admitted(self) -> int:
+        """Arrivals that passed admission control."""
+        return sum(1 for e in self.entries if e.status != "rejected")
+
+    @property
+    def rejected(self) -> int:
+        """Arrivals shed by admission control."""
+        return sum(1 for e in self.entries if e.status == "rejected")
+
+    @property
+    def deadline_overruns(self) -> int:
+        """Jobs that finished past their deadline."""
+        return sum(report.deadline_overruns for report in self.tenants.values())
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the last job (0 for an empty run)."""
+        if not self.results:
+            return 0.0
+        return max(r.metrics.finish_time for r in self.results)
+
+    def tenant(self, name: str) -> TenantReport:
+        """One tenant's report by name."""
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise KeyError(f"no report for tenant {name!r}") from None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The summary.json payload: totals plus per-tenant reports."""
+        queue_times = [
+            e.queue_time
+            for e in self.entries
+            if e.status in ("completed", "failed") and not math.isnan(e.queue_time)
+        ]
+        makespans = [
+            e.makespan
+            for e in self.entries
+            if e.status in ("completed", "failed") and not math.isnan(e.makespan)
+        ]
+        return {
+            "totals": {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": sum(1 for e in self.entries if e.status == "completed"),
+                "failed": sum(1 for e in self.entries if e.status == "failed"),
+                "deadline_overruns": self.deadline_overruns,
+                "makespan": self.makespan,
+                "queue_time": distribution(queue_times),
+                "job_makespan": distribution(makespans),
+            },
+            "tenants": {
+                name: report.to_dict() for name, report in self.tenants.items()
+            },
+        }
+
+    def write_queue_csv(self, path: str) -> str:
+        """Write the queue-time CSV to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.csv)
+        return path
+
+    def write_summary(self, path: str) -> str:
+        """Write the summary JSON to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+class Service:
+    """Multi-tenant job-submission service over one simulated cluster.
+
+    Construction builds the cluster, runtime, and gateway; ``submit`` /
+    ``submit_trace`` schedule arrivals as simulator events; ``run``
+    executes everything and returns a :class:`ServiceResult` with
+    per-tenant time-in-queue / makespan / deadline-overrun percentile
+    reports.  A ``Service`` is single-shot, like the runtime it wraps:
+    build a fresh one per replay.
+    """
+
+    def __init__(
+        self,
+        config: Union[ServiceConfig, RuntimeConfig, None] = None,
+        trace: TraceOption = None,
+    ) -> None:
+        if config is None:
+            config = ServiceConfig()
+        elif isinstance(config, RuntimeConfig):
+            config = ServiceConfig(runtime=config)
+        self.config = config.validate()
+        tracer, self._trace_config = _resolve_tracer(trace)
+        self._runtime = Runtime(self.config.runtime, tracer=tracer)
+        self.gateway = JobGateway(
+            self._runtime.inner,
+            tenants=self.config.tenants,
+            admission=self.config.admission,
+            queue_policy=self.config.queue,
+            default_tenant=self.config.default_tenant,
+            auto_register=self.config.auto_register,
+        )
+        self._ran = False
+
+    @property
+    def runtime(self) -> Runtime:
+        """The underlying :class:`Runtime` facade (advanced introspection)."""
+        return self._runtime
+
+    def register(self, spec: TenantSpec) -> None:
+        """Register (or update) a tenant before or between arrivals."""
+        self.gateway.register(spec)
+
+    def submit(
+        self,
+        job: Job,
+        *,
+        tenant: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> SubmitHandle:
+        """Schedule one arrival at ``job.submit_time``.
+
+        ``tenant`` and ``deadline`` override the job's own fields.  The
+        handle resolves (status, queue time, overrun) once :meth:`run`
+        has executed the arrival.
+        """
+        return SubmitHandle(self.gateway.submit(job, tenant=tenant, deadline=deadline))
+
+    def submit_trace(self, jobs: Sequence[Job]) -> list[SubmitHandle]:
+        """Bulk-schedule an arrival trace (jobs carry tenant/deadline)."""
+        return [SubmitHandle(entry) for entry in self.gateway.submit_trace(jobs)]
+
+    def run(self, until: Optional[float] = None) -> ServiceResult:
+        """Drain every scheduled arrival and build the per-tenant report."""
+        if self._ran:
+            raise RuntimeError(
+                "Service.run already executed; build a fresh Service per replay"
+            )
+        self._ran = True
+        results = self._runtime.run(until=until)
+        outcome = ServiceResult(
+            results=list(results),
+            tenants=self.gateway.reports(),
+            entries=list(self.gateway.entries),
+            csv=self.gateway.queue_csv(),
+        )
+        if self._runtime.ledger is not None:
+            outcome.audit = self._runtime.ledger.summary()
+        tracer = self._runtime.tracer
+        if isinstance(tracer, RecordingTracer):
+            outcome.trace = list(tracer.records)
+            outcome.metrics = tracer.metrics
+        else:
+            collect_jobs(outcome.metrics, (r.metrics for r in results))
+        if self._trace_config is not None and isinstance(tracer, RecordingTracer):
+            for path in self._trace_config.output_paths():
+                if path.endswith(".jsonl"):
+                    tracer.export_jsonl(path)
+                else:
+                    tracer.export_chrome(path)
+                outcome.trace_files.append(path)
+        return outcome

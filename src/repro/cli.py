@@ -30,11 +30,18 @@ Commands
     Run one experiment's workload with structured tracing enabled and
     export the records (Chrome ``trace_event`` JSON loads directly in
     Perfetto / ``chrome://tracing``).
+``serve [--trace smoke|small|paper] [--out DIR] [--n-jobs N] [--seed N]``
+    Replay a multi-tenant Poisson arrival trace through the job-submission
+    gateway (admission control, quotas, EDF dispatch) and write the
+    per-job queue-time CSV plus a per-tenant summary JSON into ``--out``.
+    ``--check`` replays twice and verifies byte-identical output and the
+    quota/slot-conservation invariants (the CI service-smoke gate).
 
 Flag conventions: ``--out`` names the output file, ``--jobs`` fans cells
-across worker processes, ``--cache-dir`` caches cell results.  The old
-spellings (``--output``; replay's job-count ``--jobs``) still parse but
-print a deprecation warning.
+across worker processes, ``--cache-dir`` caches cell results, ``--n-jobs``
+sizes the workload, ``--seed`` makes randomized workloads replayable.  The
+old spellings (``--output``; replay's job-count ``--jobs``) still parse
+but print a deprecation warning.
 """
 
 from __future__ import annotations
@@ -239,7 +246,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from .baselines import bubble_policy, jetscope_policy
     from .workloads import TraceConfig, generate_trace
 
-    jobs = generate_trace(TraceConfig(n_jobs=args.n_jobs, mean_interarrival=0.08))
+    jobs = generate_trace(
+        TraceConfig(n_jobs=args.n_jobs, mean_interarrival=0.08, seed=args.seed)
+    )
     print(f"replaying {args.n_jobs} jobs "
           f"({sum(j.dag.total_tasks() for j in jobs)} tasks) on 100 nodes")
     spans = {}
@@ -318,6 +327,18 @@ def _print_scale_summary(scale: dict) -> None:
           f"({scale['kernel_speedup']:.2f}x over legacy)")
 
 
+def _print_service_summary(service: dict) -> None:
+    print(f"service gateway: {service['n_arrivals']} arrivals / "
+          f"{service['n_tenants']} tenants on {service['n_machines']:,} "
+          f"machines; direct {service['direct_s']:.2f}s -> gateway "
+          f"{service['gateway_s']:.2f}s wall "
+          f"({service['overhead_frac']:+.1%} overhead, gate < 10%)")
+    print(f"service queueing: p95 time-in-queue "
+          f"{service['queue_time_p95_s']:.1f}s simulated, "
+          f"{service['rejected']} rejected, "
+          f"{service['deadline_overruns']} deadline overruns")
+
+
 def _print_sql_summary(payload: dict) -> None:
     for scenario, result in payload.items():
         if not isinstance(result, dict):
@@ -367,6 +388,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             bench.merge_payload(args.out, payload)
             print(f"updated scale entry in {args.out}", file=sys.stderr)
+    if args.suite == "service":
+        payload = bench.run_service_benchmarks(quick=args.quick, echo=echo)
+        _print_service_summary(payload["service"])
+        if args.check:
+            problems += _check_payload(args.out, payload, args.tolerance)
+        else:
+            bench.merge_payload(args.out, payload)
+            print(f"updated service entry in {args.out}", file=sys.stderr)
     if args.suite in ("all", "sql"):
         payload = bench.run_sql_benchmarks(quick=args.quick, echo=echo)
         _print_sql_summary(payload)
@@ -382,6 +411,107 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print("bench check passed: no gated metric regressed "
               f"beyond {args.tolerance:.0%}")
+    return 0
+
+
+#: ``repro serve`` trace presets: arrival process + cluster + policy knobs.
+#: ``paper`` replays the acceptance-scale trace (1,000 tenants / 2,000
+#: arrivals on 2,000 machines); ``smoke`` is the CI service-smoke gate.
+_SERVE_PRESETS: dict[str, dict[str, float | int]] = {
+    "smoke": dict(n_tenants=50, n_jobs=120, machines=20, executors=8,
+                  mean_interarrival=0.4, max_stage_tasks=60,
+                  pressure=4.0, pending=16, concurrent=4),
+    "small": dict(n_tenants=200, n_jobs=500, machines=100, executors=8,
+                  mean_interarrival=0.1, max_stage_tasks=200,
+                  pressure=6.0, pending=32, concurrent=8),
+    "paper": dict(n_tenants=1000, n_jobs=2000, machines=2000, executors=4,
+                  mean_interarrival=0.05, max_stage_tasks=700,
+                  pressure=6.0, pending=32, concurrent=8),
+}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .api import (
+        AdmissionPolicy,
+        RuntimeConfig,
+        Service,
+        ServiceConfig,
+        TenantSpec,
+    )
+    from .workloads.traces import tenant_arrival_trace
+
+    preset = _SERVE_PRESETS[args.trace]
+    n_tenants = args.n_tenants or int(preset["n_tenants"])
+    n_jobs = args.n_jobs or int(preset["n_jobs"])
+
+    def replay() -> tuple["Service", object]:
+        config = ServiceConfig(
+            runtime=RuntimeConfig(
+                n_machines=int(preset["machines"]),
+                executors_per_machine=int(preset["executors"]),
+                audit=args.audit,
+                audit_strict=False,
+            ),
+            admission=AdmissionPolicy(
+                max_pending_per_tenant=int(preset["pending"]),
+                max_pool_pressure=float(preset["pressure"]),
+            ),
+            default_tenant=TenantSpec(
+                name="default", max_concurrent_jobs=int(preset["concurrent"])
+            ),
+        )
+        service = Service(config)
+        service.submit_trace(tenant_arrival_trace(
+            n_tenants=n_tenants,
+            n_jobs=n_jobs,
+            seed=args.seed,
+            mean_interarrival=float(preset["mean_interarrival"]),
+            max_stage_tasks=int(preset["max_stage_tasks"]),
+        ))
+        return service, service.run()
+
+    print(f"serving {n_jobs} arrivals across {n_tenants} tenants "
+          f"on {preset['machines']}x{preset['executors']} executors "
+          f"(trace={args.trace}, seed={args.seed})", file=sys.stderr)
+    service, result = replay()
+    summary = result.to_dict()
+    totals = summary["totals"]
+    queue_time, job_makespan = totals["queue_time"], totals["job_makespan"]
+    print(f"tenants: {len(result.tenants)}  admitted: {result.admitted}  "
+          f"rejected: {result.rejected}  overruns: {totals['deadline_overruns']}")
+    rejected_by: dict[str, int] = {}
+    for report in result.tenants.values():
+        for reason, count in report.rejected_by_reason.items():
+            rejected_by[reason] = rejected_by.get(reason, 0) + count
+    if rejected_by:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(rejected_by.items()))
+        print(f"rejections: {detail}")
+    print(f"time-in-queue: p50 {queue_time['p50']:.1f}s  "
+          f"p95 {queue_time['p95']:.1f}s  p99 {queue_time['p99']:.1f}s")
+    print(f"job makespan:  p50 {job_makespan['p50']:.1f}s  "
+          f"p95 {job_makespan['p95']:.1f}s  p99 {job_makespan['p99']:.1f}s  "
+          f"(run makespan {totals['makespan']:.1f}s)")
+    os.makedirs(args.out, exist_ok=True)
+    csv_path = result.write_queue_csv(os.path.join(args.out, "queue_times.csv"))
+    summary_path = result.write_summary(os.path.join(args.out, "summary.json"))
+    print(f"wrote {csv_path}", file=sys.stderr)
+    print(f"wrote {summary_path}", file=sys.stderr)
+    if not args.check:
+        return 0
+    problems = service.gateway.quota_violations()
+    if args.audit and result.audit is not None and result.audit["violations"]:
+        problems.append(f"audit violations: {result.audit['violations']}")
+    _, second = replay()
+    if second.csv != result.csv:
+        problems.append("queue-time CSV is not deterministic across replays")
+    if problems:
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}")
+        return 1
+    print("serve check passed: deterministic replay, quotas and "
+          "slot conservation hold")
     return 0
 
 
@@ -473,10 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark the simulator substrate and SQL engines"
     )
     p_bench.add_argument("--quick", action="store_true", help="smaller scenarios")
-    p_bench.add_argument("--suite", choices=("all", "simulator", "sql", "scale"),
+    p_bench.add_argument("--suite",
+                         choices=("all", "simulator", "sql", "scale", "service"),
                          default="all",
-                         help="which benchmark suite(s) to run (scale runs "
-                              "only the paper-scale replay and merges its "
+                         help="which benchmark suite(s) to run (scale and "
+                              "service run a single scenario and merge its "
                               "entry into the simulator JSON)")
     _add_output_option(p_bench, default="BENCH_simulator.json",
                        what="the simulator JSON document")
@@ -543,10 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="failure hostility profile (default standard)")
     p_chaos.add_argument("--no-shrink", action="store_true",
                          help="report violations without minimizing them")
-    p_chaos.add_argument("--audit", action="store_true",
+    p_chaos.add_argument("--audit", action=argparse.BooleanOptionalAction,
+                         default=False,
                          help="shadow every resource register/release with "
                               "the accounting ledger; divergences fail the "
-                              "resource-conservation invariant")
+                              "resource-conservation invariant (default off)")
     p_chaos.add_argument("--replay", metavar="PATH",
                          help="re-run a saved JSON repro instead of sweeping")
     p_chaos.add_argument("--json", action="store_true",
@@ -562,7 +694,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--jobs", type=int, dest="n_jobs", metavar="N",
                           action=_DeprecatedAlias, replacement="--n-jobs",
                           help=argparse.SUPPRESS)
+    p_replay.add_argument("--seed", type=int, default=7,
+                          help="trace-generator seed (default 7)")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="replay a multi-tenant arrival trace through the job gateway",
+    )
+    p_serve.add_argument("--trace", choices=tuple(_SERVE_PRESETS),
+                         default="paper",
+                         help="arrival-trace preset: smoke (CI-sized), "
+                              "small, or paper (1,000 tenants / 2,000 "
+                              "arrivals on 2,000 machines; default)")
+    p_serve.add_argument("--n-jobs", type=int, default=None, dest="n_jobs",
+                         metavar="N", help="override the preset's arrival count")
+    p_serve.add_argument("--n-tenants", type=int, default=None, metavar="N",
+                         help="override the preset's tenant count")
+    p_serve.add_argument("--seed", type=int, default=7,
+                         help="arrival-trace seed (default 7)")
+    p_serve.add_argument("--audit", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="wire the resource-accounting ledger through "
+                              "the replay (default off)")
+    p_serve.add_argument("--check", action="store_true",
+                         help="replay twice and verify byte-identical "
+                              "queue-time CSVs plus quota/slot-conservation "
+                              "invariants; exit 1 on any mismatch")
+    _add_output_option(p_serve, default="service_out",
+                       what="queue_times.csv + summary.json in this directory")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -261,6 +261,10 @@ class Job:
     priority: int = 0
     #: Free-form tags (e.g. shuffle-size class for Fig. 12 grouping).
     tags: dict[str, object] = field(default_factory=dict)
+    #: Owning tenant in multi-tenant service runs ("" = untenanted).
+    tenant: str = ""
+    #: Absolute completion deadline in simulated seconds (None = no SLO).
+    deadline: Optional[float] = None
 
     @property
     def job_id(self) -> str:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 
 @dataclass(slots=True)
@@ -101,11 +101,22 @@ class JobMetrics:
     #: Task instances the RecoveryDecisions planned to re-run (upper bound
     #: for ``task_reruns``; the bounded-recovery invariant).
     planned_rerun_tasks: int = 0
+    #: Owning tenant for multi-tenant service runs ("" = untenanted).
+    tenant: str = ""
+    #: Absolute completion deadline (simulated seconds; None = no SLO).
+    deadline: Optional[float] = None
 
     @property
     def latency(self) -> float:
         """End-to-end latency from submission to completion."""
         return self.finish_time - self.submit_time
+
+    @property
+    def deadline_overrun(self) -> float:
+        """Seconds the job finished past its deadline (0 when met or no SLO)."""
+        if self.deadline is None:
+            return 0.0
+        return max(0.0, self.finish_time - self.deadline)
 
     @property
     def run_time(self) -> float:

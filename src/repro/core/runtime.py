@@ -25,7 +25,7 @@ import enum
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..audit.ledger import ResourceLedger
 from ..obs.records import Category
@@ -207,6 +207,16 @@ class SchedulingImpossibleError(RuntimeError):
     """A gang request can never be satisfied on this cluster."""
 
 
+class RuntimeDrainedError(RuntimeError):
+    """A job was submitted to a runtime whose ``run()`` already drained.
+
+    Once ``run()`` returns with an empty event queue the kernel will never
+    execute another event, so a late ``submit`` would silently do nothing.
+    Build a fresh :class:`SwiftRuntime` (or submit everything before
+    running) instead.
+    """
+
+
 class SwiftRuntime:
     """Event-driven executor of jobs under a policy on a simulated cluster."""
 
@@ -274,6 +284,17 @@ class SwiftRuntime:
         self._ledger_seq = 0
         self._flushing = False
         self._outer_now: Optional[float] = None
+        #: Set once ``run()`` returns with the event queue empty; late
+        #: submissions then raise :class:`RuntimeDrainedError` instead of
+        #: queueing events that would never execute.
+        self._drained = False
+        #: Completion hook for the service gateway: called with each
+        #: :class:`JobResult` right after it is appended to ``results``
+        #: (both successful and failed terminations).  Hook bodies must use
+        #: :meth:`event_now` when scheduling follow-up events — completion
+        #: can be observed during a finish-ledger flush, while the clock is
+        #: transiently rewound.
+        self.on_job_done: Optional[Callable[[JobResult], None]] = None
         for machine in cluster.machines:
             if machine.cache_worker is None:
                 machine.cache_worker = CacheWorker(
@@ -300,6 +321,7 @@ class SwiftRuntime:
     # ------------------------------------------------------------------
     def submit(self, job: Job) -> None:
         """Queue a job for execution at its ``submit_time``."""
+        self._check_not_drained()
         self.sim.schedule_at(job.submit_time, self._on_job_submitted, job, 0)
 
     def submit_all(self, jobs: list[Job]) -> None:
@@ -308,10 +330,32 @@ class SwiftRuntime:
         Large workloads (paper-scale replays) enter the event kernel in one
         ``schedule_batch`` call instead of per-job heap pushes.
         """
+        self._check_not_drained()
         now = self.sim.now
         self.sim.schedule_batch(
             [(job.submit_time - now, self._on_job_submitted, (job, 0)) for job in jobs]
         )
+
+    def event_now(self) -> float:
+        """Earliest time a new simulator event may safely be scheduled.
+
+        During a finish-ledger flush the kernel clock is transiently rewound
+        to replay deferred finishes in order; scheduling at ``sim.now`` then
+        would create past-time events and drag the engine clock backwards.
+        Hooks that schedule work (``on_job_done`` dispatchers) must use this
+        instead of ``sim.now``.
+        """
+        if self._flushing and self._outer_now is not None:
+            return self._outer_now
+        return self.sim.now
+
+    def _check_not_drained(self) -> None:
+        if self._drained:
+            raise RuntimeDrainedError(
+                "cannot submit: this runtime's run() already drained its event"
+                " queue, so new submissions would never execute; build a fresh"
+                " SwiftRuntime or submit every job before calling run()"
+            )
 
     def run(self, until: Optional[float] = None) -> list[JobResult]:
         """Run the simulation to completion and return per-job results."""
@@ -328,6 +372,8 @@ class SwiftRuntime:
             self.ledger.reconcile(
                 self.cluster, "run:end", expect_drained=drained
             )
+        if self.sim.pending_events() == 0:
+            self._drained = True
         return self.results
 
     def execute(self, job: Job) -> JobResult:
@@ -373,7 +419,12 @@ class SwiftRuntime:
                 attempt=attempt,
             )
         if attempt == 0:
-            metrics = JobMetrics(job_id=job.job_id, submit_time=self.sim.now)
+            metrics = JobMetrics(
+                job_id=job.job_id,
+                submit_time=self.sim.now,
+                tenant=job.tenant,
+                deadline=job.deadline,
+            )
             self.job_runs[job.job_id] = JobRun(job, graphlets, metrics, attempt)
             self._schedule_failures(job)
         else:
@@ -887,8 +938,7 @@ class SwiftRuntime:
         if at <= sr.drain_scheduled_at:
             return
         sr.drain_scheduled_at = at
-        outer = self._outer_now if self._flushing else self.sim.now
-        self.sim.schedule_at(max(at, outer), self._flush_finishes)
+        self.sim.schedule_at(max(at, self.event_now()), self._flush_finishes)
 
     def _flush_finishes(self, strict: bool = False) -> None:
         """Realise all deferred task finishes due by ``sim.now``.
@@ -1226,6 +1276,8 @@ class SwiftRuntime:
                 failed=False,
             )
         )
+        if self.on_job_done is not None:
+            self.on_job_done(self.results[-1])
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -1490,6 +1542,8 @@ class SwiftRuntime:
                 reason=reason,
             )
         )
+        if self.on_job_done is not None:
+            self.on_job_done(self.results[-1])
 
     def _release_cache_workers(self, job_id: str) -> None:
         """Drop all Cache Worker entries a job left behind."""

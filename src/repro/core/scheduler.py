@@ -118,6 +118,27 @@ class ResourceScheduler:
         return [r for r in self._queue if not r.granted and not r.cancelled]
 
     # ------------------------------------------------------------------
+    # Pool-pressure introspection (read-only; used by admission control)
+    # ------------------------------------------------------------------
+    def queued_demand(self) -> int:
+        """Executor slots still needed by queued, ungranted requests."""
+        return sum(r.remaining for r in self._queue if not r.granted and not r.cancelled)
+
+    def pool_pressure(self, extra_demand: int = 0) -> float:
+        """Executor demand over capacity, the NOT_ENOUGH_SLOTS signal.
+
+        Busy slots plus queued gang demand (plus ``extra_demand``, e.g. a
+        service gateway's own backlog), normalized by the cluster's total
+        executor count. 1.0 means the pool is exactly saturated; admission
+        policies reject or hold arrivals above a configured threshold.
+        """
+        total = self.cluster.total_executors()
+        if total <= 0:
+            return float("inf")
+        busy = total - self.cluster.free_executor_count()
+        return (busy + self.queued_demand() + extra_demand) / total
+
+    # ------------------------------------------------------------------
     # Scheduling loop
     # ------------------------------------------------------------------
     def schedule(self) -> list[Grant]:

@@ -21,6 +21,9 @@ against the legacy kernel measured in the same file:
 * **chaos_smoke** — a fixed-seed chaos sweep (Terasort, standard
   profile): campaign throughput plus the invariant pass fraction, which
   is gated so a recovery regression fails ``repro bench --check``.
+* **service** — the multi-tenant job gateway replaying the tenant
+  arrival trace vs. direct ``submit_all`` of the same jobs; the
+  gateway's wall-clock overhead is gated under a 10% budget.
 
 All timings are min-of-rounds ``perf_counter`` measurements; min (not
 mean) is the standard way to suppress scheduler noise on shared machines.
@@ -44,6 +47,7 @@ from ..workloads.traces import (
     PAPER_SCALE_EXECUTORS,
     PAPER_SCALE_MACHINES,
     paper_scale_trace,
+    tenant_arrival_trace,
 )
 from .parallel import Cell, clear_memory_cache, execution_plan, run_cells
 
@@ -414,6 +418,103 @@ def bench_scale(quick: bool = False, rounds: int = 2) -> dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# Service gateway benchmark (``--suite service``)
+# ----------------------------------------------------------------------
+
+
+def bench_service(quick: bool = False, rounds: int = 2) -> dict[str, float]:
+    """Gateway overhead vs. direct ``submit_all`` on the tenant trace.
+
+    Both modes replay the same multi-tenant Poisson arrival trace
+    (:func:`repro.workloads.traces.tenant_arrival_trace`) on the same
+    cluster.  **direct** hands the whole batch to
+    ``SwiftRuntime.submit_all`` up front; **gateway** streams every
+    arrival through a permissive :class:`repro.service.JobGateway`
+    (unlimited quotas, admission disabled), so the measured delta is
+    pure gateway machinery — per-arrival admission checks, fair-share /
+    EDF queue maintenance, slot-claim bookkeeping — rather than
+    admission shaping.  ``overhead_frac`` is gated against the <10%
+    wall-clock budget; ``direct_vs_gateway`` rides the usual relative
+    ``--check`` machinery.
+    """
+    from ..service.gateway import JobGateway
+    from ..service.stats import distribution
+
+    n_machines = 200 if quick else PAPER_SCALE_MACHINES
+    executors = PAPER_SCALE_EXECUTORS
+    # Quick mode caps stages at 100 tasks so the largest graphlet gang
+    # (738 slots) still fits the 800-slot quick cluster — the direct
+    # path has no admission control to shed oversize jobs.
+    jobs = tenant_arrival_trace(
+        n_tenants=200 if quick else 1000,
+        n_jobs=400 if quick else 2000,
+        max_stage_tasks=100 if quick else 700,
+    )
+    # The gateway stamps dispatch times back onto ``Job.submit_time``,
+    # so each round restores the trace's arrival schedule first.
+    schedule = [(job, job.submit_time) for job in jobs]
+
+    def restore() -> None:
+        for job, at in schedule:
+            job.submit_time = at
+
+    def run_direct() -> SwiftRuntime:
+        restore()
+        runtime = SwiftRuntime(Cluster.build(n_machines, executors), swift_policy())
+        runtime.submit_all(jobs)
+        runtime.run()
+        return runtime
+
+    def run_gateway() -> JobGateway:
+        restore()
+        runtime = SwiftRuntime(Cluster.build(n_machines, executors), swift_policy())
+        gateway = JobGateway(runtime)
+        gateway.submit_trace(jobs)
+        runtime.run()
+        return gateway
+
+    direct_s, direct_runtime = _min_time(run_direct, rounds)
+    gateway_s, gateway = _min_time(run_gateway, rounds)
+
+    results = direct_runtime.results  # type: ignore[attr-defined]
+    entries = gateway.entries  # type: ignore[attr-defined]
+    finished = [e for e in entries if e.status in ("completed", "failed")]
+    # A permissive gateway must not shape the workload: every arrival
+    # dispatches and finishes, exactly as in the direct replay.
+    assert len(finished) == len(results) == len(jobs)
+    queue_dist = distribution([e.queue_time for e in finished])
+
+    return {
+        "n_machines": n_machines,
+        "executors_per_machine": executors,
+        "n_arrivals": len(jobs),
+        "n_tenants": len({job.tenant for job in jobs}),
+        "direct_s": direct_s,
+        "gateway_s": gateway_s,
+        "overhead_frac": gateway_s / direct_s - 1.0,
+        "direct_vs_gateway": direct_s / gateway_s,
+        "queue_time_p50_s": queue_dist["p50"],
+        "queue_time_p95_s": queue_dist["p95"],
+        "queue_time_p99_s": queue_dist["p99"],
+        "rejected": sum(1 for e in entries if e.status == "rejected"),
+        "deadline_overruns": sum(1 for e in finished if e.overrun > 0.0),
+    }
+
+
+def run_service_benchmarks(
+    quick: bool = False, echo: Optional[Callable[[str], None]] = None
+) -> dict[str, object]:
+    """Run only the service gateway scenario (``--suite service``).
+
+    Returns a payload fragment with just the ``service`` entry; writers
+    merge it into the committed BENCH_simulator.json.
+    """
+    if echo:
+        echo("service gateway vs direct submit_all ...")
+    return {"service": bench_service(quick=quick)}
+
+
+# ----------------------------------------------------------------------
 # SQL engine benchmarks (BENCH_sql.json)
 # ----------------------------------------------------------------------
 
@@ -587,7 +688,16 @@ CHECK_METRICS: dict[str, tuple[str, ...]] = {
     "q1_aggregate": ("speedup",),
     "filter_project": ("speedup",),
     "hash_join": ("speedup",),
+    # Gateway wall-clock relative to direct submit_all (~1.0 when the
+    # gateway is free); the absolute <10% overhead budget is enforced
+    # separately below.
+    "service": ("direct_vs_gateway",),
 }
+
+#: Hard ceiling on ``service.overhead_frac`` — the gateway must cost
+#: less than 10% wall-clock over direct ``submit_all`` (ISSUE 7
+#: acceptance gate), regardless of what the committed payload recorded.
+SERVICE_OVERHEAD_CEILING = 0.10
 
 
 def compare_payloads(
@@ -628,6 +738,14 @@ def compare_payloads(
                     f"committed {committed_value:.2f} - {tolerance:.0%} "
                     f"tolerance (floor {floor:.2f})"
                 )
+    service = fresh.get("service")
+    if isinstance(service, dict) and "overhead_frac" in service:
+        overhead = float(service["overhead_frac"])
+        if overhead >= SERVICE_OVERHEAD_CEILING:
+            problems.append(
+                f"service.overhead_frac: fresh {overhead:.1%} >= "
+                f"{SERVICE_OVERHEAD_CEILING:.0%} gateway overhead budget"
+            )
     return problems
 
 
@@ -694,6 +812,8 @@ def run_benchmarks(
     )
     say("paper-scale trace replay ...")
     payload["scale"] = bench_scale(quick=quick)
+    say("service gateway vs direct submit_all ...")
+    payload["service"] = bench_service(quick=quick)
     resample_kernels()
     return payload
 

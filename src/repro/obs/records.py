@@ -54,6 +54,10 @@ class Category:
     RECOVERY = "recovery"
     #: Resource-accounting audit violations (:mod:`repro.audit`).
     AUDIT = "audit"
+    #: Per-tenant service events (:mod:`repro.service` registrations/quotas).
+    TENANT = "tenant"
+    #: Gateway queue lifecycle: arrivals, admission verdicts, dispatches.
+    QUEUE = "queue"
     ENGINE = "engine"
     META = "meta"
 

@@ -1,0 +1,169 @@
+"""Per-tenant queueing statistics: percentiles, reports, CSV export.
+
+Everything here is pure post-processing over the gateway's
+:class:`~repro.service.gateway.JobEntry` ledger, so reports and CSVs are
+byte-reproducible for a given arrival trace + policy configuration (the
+seeded-determinism test relies on this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .gateway import JobEntry
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    ``q`` is in [0, 100]; returns ``nan`` for an empty sequence. Nearest
+    rank keeps reports exactly reproducible (no interpolation drift).
+    """
+    if not sorted_values:
+        return math.nan
+    if q <= 0:
+        return sorted_values[0]
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[min(len(sorted_values), max(1, rank)) - 1]
+
+
+def distribution(values: Iterable[float]) -> dict[str, float]:
+    """n/mean/p50/p95/p99/max summary of a sample (nan-free when empty)."""
+    data = sorted(values)
+    if not data:
+        return {"n": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "n": len(data),
+        "mean": sum(data) / len(data),
+        "p50": percentile(data, 50),
+        "p95": percentile(data, 95),
+        "p99": percentile(data, 99),
+        "max": data[-1],
+    }
+
+
+@dataclass
+class TenantReport:
+    """Aggregated queueing outcomes for one tenant."""
+
+    tenant: str
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    #: Rejections broken down by reason (``not_enough_slots`` etc).
+    rejected_by_reason: dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+    #: Admitted but still queued/running when the run stopped.
+    unfinished: int = 0
+    #: Time-in-queue distribution (arrival -> dispatch), seconds.
+    queue_time: dict[str, float] = field(default_factory=dict)
+    #: Makespan distribution (arrival -> finish), seconds.
+    makespan: dict[str, float] = field(default_factory=dict)
+    #: Jobs that finished past their deadline.
+    deadline_overruns: int = 0
+    #: Overrun distribution over jobs *with* deadlines (met jobs count 0).
+    overrun: dict[str, float] = field(default_factory=dict)
+    #: High-water mark of concurrently dispatched jobs.
+    peak_concurrent_jobs: int = 0
+    #: High-water mark of claimed executor slots (largest-gang accounting).
+    peak_executor_slots: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (summary.json rows)."""
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "rejected_by_reason": dict(sorted(self.rejected_by_reason.items())),
+            "completed": self.completed,
+            "failed": self.failed,
+            "unfinished": self.unfinished,
+            "queue_time": self.queue_time,
+            "makespan": self.makespan,
+            "deadline_overruns": self.deadline_overruns,
+            "overrun": self.overrun,
+            "peak_concurrent_jobs": self.peak_concurrent_jobs,
+            "peak_executor_slots": self.peak_executor_slots,
+        }
+
+
+def build_reports(entries: Sequence["JobEntry"]) -> dict[str, TenantReport]:
+    """Fold the gateway's entry ledger into per-tenant reports."""
+    reports: dict[str, TenantReport] = {}
+    samples: dict[str, tuple[list[float], list[float], list[float]]] = {}
+    for entry in entries:
+        report = reports.get(entry.tenant)
+        if report is None:
+            report = reports[entry.tenant] = TenantReport(tenant=entry.tenant)
+            samples[entry.tenant] = ([], [], [])
+        queue_times, makespans, overruns = samples[entry.tenant]
+        report.submitted += 1
+        if entry.status == "rejected":
+            report.rejected += 1
+            reason = entry.reject_reason or "unknown"
+            report.rejected_by_reason[reason] = report.rejected_by_reason.get(reason, 0) + 1
+            continue
+        report.admitted += 1
+        if entry.status == "completed":
+            report.completed += 1
+        elif entry.status == "failed":
+            report.failed += 1
+        else:
+            report.unfinished += 1
+            continue
+        queue_times.append(entry.queue_time)
+        makespans.append(entry.makespan)
+        if entry.deadline is not None:
+            overruns.append(entry.overrun)
+            if entry.overrun > 0:
+                report.deadline_overruns += 1
+    for tenant, report in reports.items():
+        queue_times, makespans, overruns = samples[tenant]
+        report.queue_time = distribution(queue_times)
+        report.makespan = distribution(makespans)
+        report.overrun = distribution(overruns)
+    return dict(sorted(reports.items()))
+
+
+#: Columns of the queue-time CSV, in order.
+CSV_HEADER = (
+    "seq,tenant,job_id,status,reject_reason,arrival,dispatch,finish,"
+    "queue_time,makespan,deadline,overrun"
+)
+
+
+def _fmt(value: float) -> str:
+    """Fixed-point field formatting; empty for unset (nan) values."""
+    if math.isnan(value):
+        return ""
+    return f"{value:.6f}"
+
+
+def queue_csv(entries: Sequence["JobEntry"]) -> str:
+    """The per-job queue-time table as a deterministic CSV string."""
+    lines = [CSV_HEADER]
+    for entry in entries:
+        deadline = "" if entry.deadline is None else f"{entry.deadline:.6f}"
+        overrun = "" if entry.deadline is None else _fmt(entry.overrun)
+        lines.append(
+            f"{entry.seq},{entry.tenant},{entry.job_id},{entry.status},"
+            f"{entry.reject_reason},{_fmt(entry.arrival)},{_fmt(entry.dispatch)},"
+            f"{_fmt(entry.finish)},{_fmt(entry.queue_time)},{_fmt(entry.makespan)},"
+            f"{deadline},{overrun}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "CSV_HEADER",
+    "TenantReport",
+    "build_reports",
+    "distribution",
+    "percentile",
+    "queue_csv",
+]

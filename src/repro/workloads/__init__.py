@@ -11,7 +11,9 @@ from .traces import (
     cluster_profile_jobs,
     generate_job,
     generate_trace,
+    paper_scale_trace,
     shuffle_class_jobs,
+    tenant_arrival_trace,
     trace_statistics,
 )
 
@@ -27,9 +29,11 @@ __all__ = [
     "cluster_profile_jobs",
     "generate_job",
     "generate_trace",
+    "paper_scale_trace",
     "query_dag",
     "query_job",
     "shuffle_class_jobs",
+    "tenant_arrival_trace",
     "terasort",
     "terasort_dag",
     "terasort_job",

@@ -16,6 +16,7 @@ It also provides the specialised samplers the other experiments need:
 
 from __future__ import annotations
 
+import itertools
 import math
 import random
 from dataclasses import dataclass
@@ -233,6 +234,65 @@ def paper_scale_trace(
     return generate_trace(
         paper_scale_config(n_jobs=n_jobs, seed=seed, max_stage_tasks=max_stage_tasks)
     )
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant arrival traces (the `repro serve` / service-bench workload)
+# ----------------------------------------------------------------------
+
+
+def tenant_arrival_trace(
+    n_tenants: int = 1000,
+    n_jobs: int = 2000,
+    mean_interarrival: float = 0.05,
+    rate_skew: float = 1.0,
+    deadline_slack: float = 4.0,
+    deadline_fraction: float = 0.9,
+    seed: int = 7,
+    max_stage_tasks: int = 700,
+) -> list[Job]:
+    """Per-tenant Poisson arrivals with deadline/SLO annotations.
+
+    Each tenant ``t0000..`` runs an independent Poisson arrival process
+    with rate proportional to ``1 / (rank + 1) ** rate_skew`` (a Zipf-like
+    skew: a few heavy tenants, a long tail — the production shape of
+    PAPER.md §VI).  The merged stream is generated directly through the
+    superposition property: global exponential gaps at the summed rate
+    (``1 / mean_interarrival``), each arrival labeled tenant *i* with
+    probability proportional to its rate — statistically identical to
+    merging the per-tenant processes, and cheaper to sample.
+
+    Job DAGs reuse the Fig. 8-calibrated :func:`generate_job` marginals.
+    A ``deadline_fraction`` share of jobs carries an absolute deadline of
+    ``arrival + slack * estimated_work`` (jittered ±25%), where estimated
+    work is the serial per-stage work sum — tight enough that overloaded
+    replays show real overruns, loose enough that an idle cluster meets
+    most SLOs.
+    """
+    if n_tenants < 1:
+        raise ValueError("n_tenants must be >= 1")
+    config = paper_scale_config(
+        n_jobs=n_jobs, seed=seed, max_stage_tasks=max_stage_tasks
+    )
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** rate_skew for i in range(n_tenants)]
+    cum_weights = list(itertools.accumulate(weights))
+    tenant_ids = list(range(n_tenants))
+    jobs: list[Job] = []
+    t = 0.0
+    for i in range(n_jobs):
+        tid = rng.choices(tenant_ids, cum_weights=cum_weights)[0]
+        job = generate_job(rng, f"t{tid:04d}_j{i:05d}", config, submit_time=t)
+        job.tenant = f"t{tid:04d}"
+        if rng.random() < deadline_fraction:
+            estimated = sum(
+                (s.work_seconds_per_task or 0.0) for s in job.dag.stages.values()
+            )
+            slack = deadline_slack * estimated * rng.uniform(0.75, 1.25)
+            job.deadline = t + max(2.0, slack)
+        jobs.append(job)
+        t += rng.expovariate(1.0 / mean_interarrival)
+    return jobs
 
 
 # ----------------------------------------------------------------------

@@ -216,3 +216,69 @@ def test_sql_facade_reexported_from_package_root():
 
     assert repro.run_sql is run_sql
     assert repro.QueryOutcome is QueryOutcome
+
+
+# ----------------------------------------------------------------------
+# Unified submission path + deprecated aliases
+# ----------------------------------------------------------------------
+
+def test_runtime_submit_accepts_single_job_and_batches():
+    runtime = Runtime(_small_config())
+    runtime.submit(terasort.terasort_job(4, 4))
+    runtime.submit([terasort.terasort_job(5, 4), terasort.terasort_job(6, 4)])
+    results = runtime.run()
+    assert len(results) == 3
+    assert len({r.job_id for r in results}) == 3
+
+
+def test_runtime_submit_all_is_deprecated_but_works():
+    runtime = Runtime(_small_config())
+    with pytest.warns(DeprecationWarning, match="submit_all is deprecated"):
+        runtime.submit_all([terasort.terasort_job(4, 4)])
+    assert len(runtime.run()) == 1
+
+
+def test_runtime_execute_is_deprecated_but_works():
+    runtime = Runtime(_small_config())
+    with pytest.warns(DeprecationWarning, match="execute is deprecated"):
+        result = runtime.execute(terasort.terasort_job(4, 4))
+    assert result.completed
+
+
+def test_simulation_run_jobs_keyword_is_deprecated():
+    sim = Simulation(_small_config())
+    with pytest.warns(DeprecationWarning, match="jobs=.*deprecated"):
+        outcome = sim.run(jobs=terasort.terasort_job(4, 4))
+    assert outcome.completed
+
+
+def test_simulation_run_rejects_ambiguous_or_missing_workload():
+    sim = Simulation(_small_config())
+    job = terasort.terasort_job(4, 4)
+    with pytest.raises(TypeError, match="not both"):
+        sim.run(job, jobs=job)
+    with pytest.raises(TypeError, match="needs a workload"):
+        sim.run()
+
+
+def test_service_facade_reexported_from_package_root():
+    import repro
+    from repro.api import (
+        AdmissionPolicy,
+        QueuePolicy,
+        Service,
+        ServiceConfig,
+        ServiceResult,
+        SubmitHandle,
+        TenantReport,
+        TenantSpec,
+    )
+
+    assert repro.Service is Service
+    assert repro.ServiceConfig is ServiceConfig
+    assert repro.ServiceResult is ServiceResult
+    assert repro.SubmitHandle is SubmitHandle
+    assert repro.TenantSpec is TenantSpec
+    assert repro.TenantReport is TenantReport
+    assert repro.AdmissionPolicy is AdmissionPolicy
+    assert repro.QueuePolicy is QueuePolicy

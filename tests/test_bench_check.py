@@ -107,3 +107,22 @@ def test_merge_payload_preserves_other_scenarios(tmp_path):
     assert merged["scale"] == {"kernel_speedup": 2.5}
     with open(path, encoding="utf-8") as handle:
         assert json.load(handle) == merged
+
+
+def test_service_overhead_ceiling_is_absolute():
+    # The <10% gateway overhead budget fires on the fresh payload alone,
+    # even when the committed file predates the service scenario.
+    fresh_bad = {"service": {"direct_vs_gateway": 0.9, "overhead_frac": 0.12}}
+    problems = compare_payloads({}, fresh_bad)
+    assert len(problems) == 1
+    assert "overhead budget" in problems[0]
+    fresh_good = {"service": {"direct_vs_gateway": 1.0, "overhead_frac": 0.04}}
+    assert compare_payloads({}, fresh_good) == []
+
+
+def test_service_ratio_rides_relative_gate():
+    committed = {"service": {"direct_vs_gateway": 1.0, "overhead_frac": 0.0}}
+    fresh = {"service": {"direct_vs_gateway": 0.5, "overhead_frac": 0.05}}
+    problems = compare_payloads(committed, fresh)
+    assert len(problems) == 1
+    assert "service.direct_vs_gateway" in problems[0]

@@ -201,3 +201,53 @@ def test_experiment_json_output(capsys):
     payload = json.loads(out)
     assert payload["name"] == "fig13_q13_details"
     assert payload["rows"][0]["stage"] == "M1"
+
+
+# ----------------------------------------------------------------------
+# repro serve
+# ----------------------------------------------------------------------
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.trace == "paper"
+    assert args.out == "service_out"
+    assert args.seed == 7
+    assert args.audit is False
+    assert args.check is False
+
+
+def test_serve_parser_accepts_service_bench_suite():
+    args = build_parser().parse_args(["bench", "--suite", "service"])
+    assert args.suite == "service"
+
+
+def test_serve_smoke_writes_outputs(tmp_path, capsys):
+    out = tmp_path / "svc"
+    assert main(["serve", "--trace", "smoke", "--n-jobs", "16",
+                 "--n-tenants", "8", "--out", str(out)]) == 0
+    assert (out / "queue_times.csv").exists()
+    assert (out / "summary.json").exists()
+    stdout = capsys.readouterr().out
+    assert "time-in-queue" in stdout
+    header = (out / "queue_times.csv").read_text().splitlines()[0]
+    assert header.startswith("seq,tenant,job_id,status")
+
+
+def test_serve_check_passes_deterministically(tmp_path, capsys):
+    out = tmp_path / "svc"
+    assert main(["serve", "--trace", "smoke", "--n-jobs", "16",
+                 "--n-tenants", "8", "--audit", "--check",
+                 "--out", str(out)]) == 0
+    assert "serve check passed" in capsys.readouterr().out
+
+
+def test_serve_summary_json_has_percentiles(tmp_path):
+    import json
+
+    out = tmp_path / "svc"
+    assert main(["serve", "--trace", "smoke", "--n-jobs", "12",
+                 "--out", str(out)]) == 0
+    payload = json.loads((out / "summary.json").read_text())
+    totals = payload["totals"]
+    assert {"p50", "p95", "p99"} <= set(totals["queue_time"])
+    assert totals["submitted"] == 12

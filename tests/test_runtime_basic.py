@@ -130,3 +130,20 @@ def test_start_time_set_at_first_dispatch():
     result, _ = run_job(chain_dag())
     assert result.metrics.start_time > 0.0
     assert result.metrics.start_time <= min(t.plan_arrive for t in result.metrics.tasks)
+
+
+def test_submit_after_drained_run_raises():
+    # Regression: submitting into a runtime whose run() already drained
+    # the event queue used to hang or silently drop the job.
+    import pytest
+
+    from repro.core.runtime import RuntimeDrainedError
+
+    cluster = Cluster.build(2, 8)
+    runtime = SwiftRuntime(cluster, swift_policy())
+    runtime.submit_all([as_job(chain_dag("first"))])
+    runtime.run()
+    with pytest.raises(RuntimeDrainedError, match="drained"):
+        runtime.submit(as_job(chain_dag("too-late")))
+    with pytest.raises(RuntimeDrainedError):
+        runtime.submit_all([as_job(chain_dag("also-too-late"))])
