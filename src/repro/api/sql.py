@@ -13,7 +13,6 @@ from typing import Any, Optional
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..sql.catalog import Catalog
-from ..sql.columnar import DEFAULT_BATCH_SIZE
 from ..sql.dispatch import QueryOutcome, engine_for, execute_sql
 
 Row = dict[str, Any]
@@ -26,7 +25,7 @@ def run_sql(
     *,
     engine: str = "auto",
     catalog: Optional[Catalog] = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> QueryOutcome:
@@ -35,6 +34,8 @@ def run_sql(
     ``engine`` is ``"auto"`` (default: columnar when the whole plan is
     supported, row otherwise), ``"row"``, or ``"columnar"``.  The outcome
     carries the result rows plus the engine that actually ran and why.
+    ``batch_size=None`` (default) lets the columnar engine scan whole
+    tables in single batches; pass a size to bound peak memory.
     """
     outcome: QueryOutcome = execute_sql(
         sql, database, catalog, engine=engine, batch_size=batch_size,

@@ -653,8 +653,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto",
                        help="execution engine for --execute (auto picks "
                             "columnar when the whole plan is supported)")
-    p_sql.add_argument("--batch-size", type=int, default=4096, metavar="N",
-                       help="columnar batch size (default 4096)")
+    p_sql.add_argument("--batch-size", type=int, default=None, metavar="N",
+                       help="columnar batch size (default: auto — whole-table "
+                            "batches capped at 2**20 rows)")
     p_sql.set_defaults(func=_cmd_sql)
 
     p_chaos = sub.add_parser(

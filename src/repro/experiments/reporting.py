@@ -206,7 +206,15 @@ def build_report(quick: bool = False, echo: Callable[[str], None] | None = None)
         "idle machine before committing fresh numbers), and `python -m "
         "repro bench --check` compares a fresh run against the committed "
         "files without overwriting them, failing on >25% regressions of "
-        "the gated speedups.  The committed simulator payload is generated "
+        "the gated speedups (SQL scenarios are compared only when the "
+        "fresh run used the same `n_rows` as the committed one, so a "
+        "`--quick` run never gates against full-size numbers).  The SQL "
+        "suite times the row engine on row-dict lists and the columnar "
+        "engine on its native numpy `ColumnBatch` layout (typed arrays + "
+        "null bitmaps + dictionary-encoded strings, encoded once outside "
+        "the timed region) at 100k and 1M rows; both engines must return "
+        "identical rows for the number to be recorded.  The committed "
+        "simulator payload is generated "
         "with resource auditing on (`--audit`, the default): the chaos "
         "smoke sweep reconciles a `repro.audit.ResourceLedger` after every "
         "campaign, so its gated pass fraction also covers resource "

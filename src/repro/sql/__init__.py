@@ -22,6 +22,7 @@ from .ast import (
     UnaryOp,
 )
 from .catalog import Catalog, CatalogError, Column, DEFAULT_CATALOG, TableSchema, TPCH_TABLES
+from .batch import ColumnTable, ColumnVector
 from .columnar import (
     DEFAULT_BATCH_SIZE,
     ColumnarExecutor,
@@ -72,6 +73,8 @@ __all__ = [
     "Column",
     "ColumnBatch",
     "ColumnRef",
+    "ColumnTable",
+    "ColumnVector",
     "ColumnarExecutor",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_CATALOG",

@@ -8,6 +8,10 @@ run) to size stages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .batch import ColumnTable
 
 
 @dataclass(frozen=True)
@@ -15,6 +19,13 @@ class Column:
     """One column: name and coarse data type."""
     name: str
     dtype: str  # "int" | "float" | "str" | "date"
+
+    @property
+    def numpy_kind(self) -> str:
+        """The columnar storage kind (dates are stored as strings)."""
+        if self.dtype in ("int", "float"):
+            return self.dtype
+        return "str"
 
 
 @dataclass(frozen=True)
@@ -45,6 +56,20 @@ class TableSchema:
     def bytes_at(self, scale_factor: float) -> float:
         """On-disk bytes at a TPC-H scale factor."""
         return self.rows_at(scale_factor) * self.bytes_per_row
+
+    def empty_table(self) -> "ColumnTable":
+        """A zero-row columnar table typed after this schema.
+
+        Unlike an empty row list, the result still carries the schema, so
+        the columnar engine can scan it without a catalog lookup.
+        """
+        from .batch import ColumnTable, ColumnVector
+
+        return ColumnTable(
+            self.column_names(),
+            {c.name: ColumnVector.empty(c.numpy_kind) for c in self.columns},
+            0,
+        )
 
 
 def _cols(*specs: str) -> tuple[Column, ...]:

@@ -1,19 +1,31 @@
-"""Vectorized columnar execution engine.
+"""Vectorized columnar execution engine on numpy.
 
-Operators exchange :class:`ColumnBatch` objects (parallel Python lists, one
-per column, fixed batch size) instead of per-row dictionaries.  Scalar
-expressions are compiled **once per query** into per-batch kernels — a
-generated list comprehension over only the referenced columns — so the
-per-row interpreter overhead of :mod:`repro.sql.executor` (AST walk, dict
-lookups, operator-table construction) is paid once per batch instead of
-once per value.
+Operators exchange :class:`~repro.sql.batch.ColumnBatch` objects — typed
+``np.ndarray`` columns with null bitmaps and dictionary-encoded strings
+(:mod:`repro.sql.batch`) — and scalar expressions are compiled once per
+query into array kernels (:mod:`repro.sql.kernels`).  The physical
+operators are array programs:
 
-Semantics mirror the row executor exactly: NULL propagation through
-arithmetic and comparisons, ``and``/``or`` via Python truthiness with
-short-circuit, LIKE via the shared :func:`~repro.sql.executor.like_to_glob`
-translation, first-seen group ordering, probe-order hash joins, and stable
-successive sorts.  Differential tests assert identical output on every
-TPC-H query and the conformance corpus.
+* **filter** — kernel truthiness mask, ``np.flatnonzero`` + fancy-index
+  gather;
+* **aggregate** — group assignment via ``np.unique``-based factorization
+  remapped to first-seen order, then ``np.bincount`` (whose sequential
+  accumulation matches the row engine's ``total += v`` float-for-float)
+  and ``np.minimum.at``/``np.maximum.at`` segmented reductions;
+* **join** — equi-keys pooled into a shared code space (dictionary merge
+  for strings, ``np.unique`` for numerics), build side sorted once, probe
+  via ``np.searchsorted``, candidate pairs expanded with ``np.repeat``;
+* **sort** — successive stable ``np.argsort`` passes, least-significant
+  key first, with a null-flag pass replicating the row engine's
+  ``_sort_key`` ordering.
+
+Semantics mirror the row executor exactly — NULL propagation,
+``and``/``or`` via Python truthiness, LIKE via the shared glob
+translation, first-seen group ordering, probe-order hash joins — and any
+value shape the typed fast paths can't reproduce bit-for-bit (mixed-type
+columns, NaN sort/group keys, DISTINCT aggregates) drops to an exact
+Python fallback for that operator.  Differential tests assert identical
+output on every TPC-H query and the conformance corpus.
 
 Plans the engine cannot run raise :class:`UnsupportedFeature` at compile
 time; the dispatcher (:mod:`repro.sql.dispatch`) catches it and falls back
@@ -22,26 +34,22 @@ to the row executor.
 
 from __future__ import annotations
 
-import fnmatch
-import re
 from time import perf_counter
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from .ast import (
-    AGGREGATE_FUNCTIONS,
-    BinaryOp,
-    CaseExpr,
-    ColumnRef,
-    Expr,
-    FunctionCall,
-    InList,
-    Literal,
-    Star,
-    UnaryOp,
+import numpy as np
+
+from .ast import BinaryOp, ColumnRef, Expr, FunctionCall, Star
+from .batch import (
+    ColumnBatch,
+    ColumnTable,
+    ColumnVector,
+    concat_batches,
+    gather,
+    slice_batch,
 )
 from .catalog import Catalog
 from .executor import (
-    _SCALAR_FUNCTIONS,
     Database,
     ExecutionError,
     Row,
@@ -50,9 +58,8 @@ from .executor import (
     _extract_equi_keys,
     _hashable,
     _sort_key,
-    like_to_glob,
-    sql_like,
 )
+from .kernels import Kernel, compile_kernel
 from .logical import (
     LogicalAggregate,
     LogicalFilter,
@@ -66,268 +73,51 @@ from .logical import (
     PlanError,
 )
 
-#: Rows per batch; large enough to amortise per-batch kernel dispatch,
-#: small enough to keep intermediate lists cache-friendly.
-DEFAULT_BATCH_SIZE = 4096
+__all__ = [
+    "ColumnBatch",
+    "ColumnTable",
+    "ColumnVector",
+    "ColumnarExecutor",
+    "DEFAULT_BATCH_SIZE",
+    "Kernel",
+    "UnsupportedFeature",
+    "compile_kernel",
+    "compile_plan",
+    "walk_ops",
+]
+
+#: Rows per batch when a caller asks for a fixed size.  With array kernels
+#: the per-batch overhead is one ufunc dispatch per operator, so batches
+#: are best measured in the hundreds of thousands; ``batch_size=None``
+#: (the default everywhere) goes further and scans whole tables in one
+#: batch, capped at :data:`_AUTO_BATCH_CAP` lanes.
+DEFAULT_BATCH_SIZE = 65536
+
+_AUTO_BATCH_CAP = 1 << 20
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
+
+#: Join keys pooled through float64 stay exact only below 2**53.
+_FLOAT_EXACT_INT = 2 ** 53
 
 
 class UnsupportedFeature(ExecutionError):
     """Plan shape the columnar engine cannot run (dispatch falls back)."""
 
 
-# ----------------------------------------------------------------------
-# Column batches
-# ----------------------------------------------------------------------
-
-class ColumnBatch:
-    """A batch of rows stored as parallel columns.
-
-    ``columns`` maps every visible column name — bare (``l_suppkey``) and
-    binding-qualified (``l.l_suppkey``) — to a list of ``length`` values.
-    Qualified aliases share the *same list object* as their bare column,
-    so qualification is free per batch instead of per row.
-    """
-
-    __slots__ = ("names", "columns", "length")
-
-    def __init__(
-        self, names: Sequence[str], columns: dict[str, list], length: int
-    ) -> None:
-        self.names = list(names)
-        self.columns = columns
-        self.length = length
-
-    @classmethod
-    def from_rows(cls, rows: Sequence[Row], names: Sequence[str]) -> "ColumnBatch":
-        """Transpose homogeneous row dicts into a batch."""
-        columns: dict[str, list] = {n: [row[n] for row in rows] for n in names}
-        return cls(list(names), columns, len(rows))
-
-    def to_rows(self) -> list[Row]:
-        """Transpose the batch back into row dicts (result materialisation)."""
-        names = self.names
-        if not names:
-            return [{} for _ in range(self.length)]
-        cols = [self.columns[n] for n in names]
-        return [dict(zip(names, values)) for values in zip(*cols)]
+class _PythonFallback(Exception):
+    """Internal: value shape needs the exact row-semantics Python path."""
 
 
-def _gather(batch: ColumnBatch, indexes: list[int]) -> ColumnBatch:
-    """Select ``indexes`` from every column, preserving alias sharing."""
-    taken: dict[int, list] = {}
-    columns: dict[str, list] = {}
-    for name in batch.names:
-        source = batch.columns[name]
-        picked = taken.get(id(source))
-        if picked is None:
-            picked = taken[id(source)] = [source[i] for i in indexes]
-        columns[name] = picked
-    return ColumnBatch(batch.names, columns, len(indexes))
+def _auto_batch_size(n_rows: int) -> int:
+    return min(max(n_rows, 1), _AUTO_BATCH_CAP)
 
 
-def _slice_batch(batch: ColumnBatch, count: int) -> ColumnBatch:
-    """The first ``count`` rows of a batch, preserving alias sharing."""
-    taken: dict[int, list] = {}
-    columns: dict[str, list] = {}
-    for name in batch.names:
-        source = batch.columns[name]
-        picked = taken.get(id(source))
-        if picked is None:
-            picked = taken[id(source)] = source[:count]
-        columns[name] = picked
-    return ColumnBatch(batch.names, columns, count)
-
-
-def _concat(schema: list[str], batches: list[ColumnBatch]) -> ColumnBatch:
-    """Concatenate batches into one, preserving alias sharing."""
-    if not batches:
-        return ColumnBatch(schema, {n: [] for n in schema}, 0)
-    if len(batches) == 1:
-        return batches[0]
-    leaders: dict[int, str] = {}
-    columns: dict[str, list] = {}
-    for name in schema:
-        lead = leaders.get(id(batches[0].columns[name]))
-        if lead is not None:
-            columns[name] = columns[lead]
-            continue
-        leaders[id(batches[0].columns[name])] = name
-        merged: list = []
-        for batch in batches:
-            merged.extend(batch.columns[name])
-        columns[name] = merged
-    return ColumnBatch(schema, columns, sum(b.length for b in batches))
-
-
-# ----------------------------------------------------------------------
-# Expression compilation: AST -> per-batch kernel
-# ----------------------------------------------------------------------
-
-class Kernel:
-    """A compiled expression: maps a batch to a list of values."""
-
-    __slots__ = ("fn", "col_keys", "source")
-
-    def __init__(self, fn: Callable[..., list], col_keys: list[str], source: str):
-        self.fn = fn
-        self.col_keys = col_keys
-        self.source = source
-
-    def __call__(self, batch: ColumnBatch) -> list:
-        if not self.col_keys:
-            return self.fn(batch.length)
-        columns = batch.columns
-        return self.fn(*[columns[k] for k in self.col_keys])
-
-
-_BINARY_PYOPS = {
-    "+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
-    "=": "==", "<>": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">=",
-}
-
-
-class _KernelCompiler:
-    """Lowers one expression tree to a Python comprehension body."""
-
-    def __init__(self, schema: Sequence[str]) -> None:
-        self.schema = set(schema)
-        self.cols: dict[str, str] = {}
-        self.env: dict[str, object] = {"_sql_like": sql_like}
-        self.uid = 0
-
-    def _temp(self) -> str:
-        self.uid += 1
-        return f"_t{self.uid}"
-
-    def _const(self, value: object) -> str:
-        name = f"_k{len(self.env)}"
-        self.env[name] = value
-        return name
-
-    def _column(self, ref: ColumnRef) -> str:
-        key = f"{ref.qualifier}.{ref.name}" if ref.qualifier else ref.name
-        if key not in self.schema:
-            if ref.name in self.schema:
-                key = ref.name
-            else:
-                raise ExecutionError(f"column {key!r} not found in row")
-        var = self.cols.get(key)
-        if var is None:
-            var = f"_v{len(self.cols)}"
-            self.cols[key] = var
-        return var
-
-    # ------------------------------------------------------------------
-    def emit(self, expr: Expr) -> str:
-        if isinstance(expr, Literal):
-            value = expr.value
-            if value is None or isinstance(value, (bool, int, float, str)):
-                return repr(value)
-            return self._const(value)
-        if isinstance(expr, ColumnRef):
-            return self._column(expr)
-        if isinstance(expr, Star):
-            raise ExecutionError("* is only valid in select lists and count(*)")
-        if isinstance(expr, UnaryOp):
-            operand = self.emit(expr.operand)
-            if expr.op == "-":
-                tmp = self._temp()
-                return f"(None if ({tmp} := {operand}) is None else - {tmp})"
-            if expr.op == "not":
-                return f"(not {operand})"
-            raise ExecutionError(f"unknown unary operator {expr.op}")
-        if isinstance(expr, BinaryOp):
-            return self._emit_binary(expr)
-        if isinstance(expr, FunctionCall):
-            return self._emit_call(expr)
-        if isinstance(expr, CaseExpr):
-            code = (
-                self.emit(expr.default) if expr.default is not None else "None"
-            )
-            for condition, value in reversed(expr.whens):
-                code = f"({self.emit(value)} if {self.emit(condition)} else {code})"
-            return code
-        if isinstance(expr, InList):
-            return self._emit_in_list(expr)
-        raise ExecutionError(f"cannot evaluate {expr!r}")
-
-    def _emit_binary(self, expr: BinaryOp) -> str:
-        op = expr.op
-        if op == "and":
-            return f"(bool({self.emit(expr.left)}) and bool({self.emit(expr.right)}))"
-        if op == "or":
-            return f"(bool({self.emit(expr.left)}) or bool({self.emit(expr.right)}))"
-        left = self.emit(expr.left)
-        if op == "like":
-            if isinstance(expr.right, Literal):
-                # Literal pattern: precompile the regex fnmatchcase would build.
-                glob = like_to_glob(str(expr.right.value))
-                rx = self._const(re.compile(fnmatch.translate(glob)))
-                return f"({rx}.match(str({left})) is not None)"
-            return f"_sql_like({left}, {self.emit(expr.right)})"
-        right = self.emit(expr.right)
-        if op == "||":
-            return f"(str({left}) + str({right}))"
-        pyop = _BINARY_PYOPS.get(op)
-        if pyop is None:
-            raise ExecutionError(f"unknown operator {op!r}")
-        lt, rt = self._temp(), self._temp()
-        # `|` (not `or`) so both operands are evaluated, like the row engine.
-        return (
-            f"(None if (({lt} := {left}) is None) | (({rt} := {right}) is None)"
-            f" else ({lt} {pyop} {rt}))"
-        )
-
-    def _emit_call(self, expr: FunctionCall) -> str:
-        name = expr.name.lower()
-        if name in AGGREGATE_FUNCTIONS:
-            raise ExecutionError(
-                f"aggregate {name}() outside an aggregation context"
-            )
-        fn = _SCALAR_FUNCTIONS.get(name)
-        if fn is None:
-            raise ExecutionError(f"unknown function {expr.name!r}")
-        fn_var = self._const(fn)
-        args = ", ".join(self.emit(a) for a in expr.args)
-        return f"{fn_var}({args})"
-
-    def _emit_in_list(self, expr: InList) -> str:
-        needle = self.emit(expr.expr)
-        if not expr.values:
-            return "True" if expr.negated else "False"
-        nt = self._temp()
-        # Chained `or` keeps the row engine's lazy right-to-left evaluation;
-        # `==` (not set membership) so NULL never matches anything.
-        parts = [f"(({nt} := {needle}) == {self.emit(expr.values[0])})"]
-        parts.extend(f"({nt} == {self.emit(v)})" for v in expr.values[1:])
-        matched = "(" + " or ".join(parts) + ")"
-        return f"(not {matched})" if expr.negated else matched
-
-
-def compile_kernel(expr: Expr, schema: Sequence[str]) -> Kernel:
-    """Compile ``expr`` into a per-batch kernel over ``schema`` columns."""
-    compiler = _KernelCompiler(schema)
-    code = compiler.emit(expr)
-    col_keys = list(compiler.cols)
-    variables = [compiler.cols[k] for k in col_keys]
-    if not col_keys:
-        source = f"def _kernel(_n):\n    return [{code} for _ in range(_n)]"
-    elif len(col_keys) == 1:
-        var = variables[0]
-        source = (
-            f"def _kernel({var}_col):\n"
-            f"    return [{code} for {var} in {var}_col]"
-        )
-    else:
-        params = ", ".join(f"{v}_col" for v in variables)
-        targets = ", ".join(variables)
-        source = (
-            f"def _kernel({params}):\n"
-            f"    return [{code} for ({targets}) in zip({params})]"
-        )
-    namespace = dict(compiler.env)
-    exec(source, namespace)  # noqa: S102 - generated from a closed AST, no user text
-    return Kernel(namespace["_kernel"], col_keys, source)
+def _stable_desc_argsort(keys: np.ndarray) -> np.ndarray:
+    """Stable *descending* argsort (ties keep their original order)."""
+    n = len(keys)
+    return (n - 1) - np.argsort(keys[::-1], kind="stable")[::-1]
 
 
 # ----------------------------------------------------------------------
@@ -386,17 +176,22 @@ class _ScanOp(_Op):
         node: LogicalScan,
         database: Database,
         catalog: Optional[Catalog],
-        batch_size: int,
+        batch_size: Optional[int],
     ) -> None:
         super().__init__()
         rows = database.get(node.table)
         if rows is None:
             raise ExecutionError(f"table {node.table!r} not loaded")
         self.rows = rows
+        self.columnar = isinstance(rows, ColumnTable)
         self.binding = node.binding
-        self.batch_size = batch_size
+        self.batch_size = (
+            batch_size if batch_size is not None else _auto_batch_size(len(rows))
+        )
         self.detail = node.table
-        if rows:
+        if self.columnar:
+            base = list(rows.names)
+        elif len(rows):
             base = list(rows[0].keys())
         elif catalog is not None:
             try:
@@ -420,17 +215,26 @@ class _ScanOp(_Op):
 
     def batches(self) -> Iterator[ColumnBatch]:
         rows, size, binding = self.rows, self.batch_size, self.binding
-        for start in range(0, len(rows), size):
+        total = len(rows)
+        for start in range(0, total, size):
             began = perf_counter()
-            chunk = rows[start:start + size]
-            columns: dict[str, list] = {
-                n: [row[n] for row in chunk] for n in self.base_names
-            }
+            stop = min(start + size, total)
+            if self.columnar:
+                columns = {
+                    n: rows.columns[n].slice(start, stop)
+                    for n in self.base_names
+                }
+            else:
+                chunk = rows[start:stop]
+                columns = {
+                    n: ColumnVector.from_values([row[n] for row in chunk])
+                    for n in self.base_names
+                }
             if binding:
                 for n in self.base_names:
                     if "." not in n:
                         columns[f"{binding}.{n}"] = columns[n]
-            batch = ColumnBatch(self.schema, columns, len(chunk))
+            batch = ColumnBatch(self.schema, columns, stop - start)
             self.seconds += perf_counter() - began
             yield self._emit(batch)
 
@@ -484,12 +288,11 @@ class _FilterOp(_UnaryOpBase):
     def batches(self) -> Iterator[ColumnBatch]:
         for batch in self.child.batches():
             began = perf_counter()
-            mask = self.kernel(batch)
-            selection = [i for i, keep in enumerate(mask) if keep]
-            if len(selection) == batch.length:
+            mask = self.kernel.truth(batch)
+            if mask.all():
                 out: Optional[ColumnBatch] = batch
-            elif selection:
-                out = _gather(batch, selection)
+            elif mask.any():
+                out = gather(batch, np.flatnonzero(mask))
             else:
                 out = None
             self.seconds += perf_counter() - began
@@ -531,13 +334,13 @@ class _ProjectOp(_UnaryOpBase):
             if self.passthrough:
                 out = batch
             else:
-                columns: dict[str, list] = {}
+                columns: dict[str, ColumnVector] = {}
                 for name, kernel in self.kernels:
                     if kernel is None:
                         for n in self.child.schema:
                             columns[n] = batch.columns[n]
                     else:
-                        columns[name] = kernel(batch)  # type: ignore[index]
+                        columns[name] = kernel.eval(batch)  # type: ignore[index]
                 out = ColumnBatch(self.schema, columns, batch.length)
             if self.seen is not None:
                 out = self._dedup(out)
@@ -547,7 +350,7 @@ class _ProjectOp(_UnaryOpBase):
 
     def _dedup(self, batch: ColumnBatch) -> Optional[ColumnBatch]:
         names = batch.names
-        cols = [batch.columns[n] for n in names]
+        cols = [batch.columns[n].to_pylist() for n in names]
         seen = self.seen
         assert seen is not None
         keep: list[int] = []
@@ -560,13 +363,79 @@ class _ProjectOp(_UnaryOpBase):
             return batch
         if not keep:
             return None
-        return _gather(batch, keep)
+        return gather(batch, np.array(keep, np.int64))
 
 
-class _AggState:
-    """Array-backed accumulator for one aggregate call across all groups."""
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
 
-    __slots__ = ("name", "star", "kernel", "counts", "totals", "mins", "maxs", "seen")
+def _equality_codes(vec: ColumnVector) -> np.ndarray:
+    """Int codes where equal code <=> Python-equal value; NULL lanes -> 0.
+
+    Raises :class:`_PythonFallback` for shapes numpy equality cannot
+    reproduce (mixed-type columns; NaN keys, which hash by identity in the
+    row engine's group dict).
+    """
+    if vec.kind == "object":
+        raise _PythonFallback
+    mask = vec.null_mask()
+    if vec.kind == "str":
+        return np.where(mask, 0, vec.data.astype(np.int64) + 1)
+    data = vec.data
+    if vec.kind == "float":
+        valid = data[~mask]
+        if valid.size and bool(np.isnan(valid).any()):
+            raise _PythonFallback
+    _, inv = np.unique(data, return_inverse=True)
+    return np.where(mask, 0, inv.astype(np.int64) + 1)
+
+
+def _combine_codes(parts: list[np.ndarray]) -> np.ndarray:
+    """Fold per-column codes into one joint code per lane."""
+    codes = parts[0]
+    for nxt in parts[1:]:
+        width = int(nxt.max()) + 1 if nxt.size else 1
+        combined = codes * width + nxt
+        # Compress after every fold so the product stays far from 2**63.
+        _, inv = np.unique(combined, return_inverse=True)
+        codes = inv.astype(np.int64)
+    return codes
+
+
+def _first_seen_groups(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Group ids in first-occurrence order + first lane index per group."""
+    uniques, first, inv = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(len(uniques), np.int64)
+    rank[order] = np.arange(len(uniques))
+    return rank[inv.astype(np.int64)], first[order]
+
+
+def _py_groups(
+    key_vectors: list[ColumnVector], n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact row-engine group assignment (Python dict hashing/equality)."""
+    lists = [v.to_pylist() for v in key_vectors]
+    group_ids: dict[tuple, int] = {}
+    gids = np.empty(n, np.int64)
+    reps: list[int] = []
+    for i in range(n):
+        key = tuple(_hashable(lst[i]) for lst in lists)
+        gid = group_ids.get(key)
+        if gid is None:
+            gid = group_ids[key] = len(reps)
+            reps.append(i)
+        gids[i] = gid
+    return gids, np.array(reps, np.int64)
+
+
+class _AggCall:
+    """One aggregate call: vectorized over all groups at once."""
+
+    __slots__ = ("name", "star", "distinct", "kernel")
 
     def __init__(self, call: FunctionCall, schema: Sequence[str]) -> None:
         self.name = call.name.lower()
@@ -576,96 +445,130 @@ class _AggState:
             raise ExecutionError("* is only valid in select lists and count(*)")
         if not call.args:
             raise ExecutionError(f"{self.name}() needs an argument")
+        self.distinct = bool(call.distinct)
         self.kernel = (
             None if self.star else compile_kernel(call.args[0], schema)
         )
-        self.counts: list[int] = []
-        self.totals: list[float] = []
-        self.mins: list[object] = []
-        self.maxs: list[object] = []
-        self.seen: Optional[list[set]] = [] if call.distinct else None
 
-    def grow(self) -> None:
-        self.counts.append(0)
-        self.totals.append(0.0)
-        self.mins.append(None)
-        self.maxs.append(None)
-        if self.seen is not None:
-            self.seen.append(set())
-
-    def update(self, group_ids: list[int], batch: ColumnBatch) -> None:
+    def compute(
+        self, table: ColumnBatch, gids: np.ndarray, n_groups: int
+    ) -> list:
+        """Per-group results, groups in first-seen order."""
         if self.star:
-            counts = self.counts
-            for g in group_ids:
-                counts[g] += 1
-            return
-        values = self.kernel(batch)  # type: ignore[misc]
-        if self.seen is not None:
-            for g, v in zip(group_ids, values):
+            return np.bincount(gids, minlength=n_groups).tolist()
+        values = self.kernel.eval(table)  # type: ignore[union-attr]
+        if self.distinct or values.kind == "object":
+            return self._py_compute(values.to_pylist(), gids, n_groups)
+        valid = ~values.null_mask()
+        g_valid = gids[valid]
+        name = self.name
+        if name == "count":
+            return np.bincount(g_valid, minlength=n_groups).tolist()
+        if name in ("sum", "avg"):
+            counts = np.bincount(g_valid, minlength=n_groups)
+            if values.kind == "str":
+                # The row engine counts non-null strings but adds nothing.
+                totals = np.zeros(n_groups)
+            else:
+                # bincount accumulates weights sequentially in lane order —
+                # bit-identical to the row engine's per-row `total += v`.
+                totals = np.bincount(
+                    g_valid,
+                    weights=values.data[valid].astype(np.float64),
+                    minlength=n_groups,
+                )
+            pairs = zip(totals.tolist(), counts.tolist())
+            if name == "sum":
+                return [t if c else None for t, c in pairs]
+            return [t / c if c else None for t, c in pairs]
+        if name not in ("min", "max"):
+            raise ExecutionError(f"unknown aggregate {self.name!r}")
+        if values.kind == "bool":
+            return self._py_compute(values.to_pylist(), gids, n_groups)
+        data = values.data[valid]
+        if values.kind == "float" and data.size and bool(np.isnan(data).any()):
+            # `v < m` with NaN is order-dependent; replay the exact order.
+            return self._py_compute(values.to_pylist(), gids, n_groups)
+        present = np.bincount(g_valid, minlength=n_groups) > 0
+        reduce_at = np.minimum.at if name == "min" else np.maximum.at
+        if values.kind == "str":
+            sentinel = _INT64_MAX if name == "min" else np.int64(-1)
+            out = np.full(n_groups, sentinel, np.int64)
+            reduce_at(out, g_valid, data.astype(np.int64))
+            dictionary = values.dictionary
+            return [
+                str(dictionary[c]) if p else None
+                for c, p in zip(out.tolist(), present.tolist())
+            ]
+        if values.kind == "int":
+            sentinel_i = _INT64_MAX if name == "min" else _INT64_MIN
+            out = np.full(n_groups, sentinel_i, np.int64)
+        else:
+            out = np.full(n_groups, np.inf if name == "min" else -np.inf)
+        reduce_at(out, g_valid, data)
+        return [
+            c if p else None for c, p in zip(out.tolist(), present.tolist())
+        ]
+
+    def _py_compute(self, values: list, gids: np.ndarray, n_groups: int) -> list:
+        """Row-engine accumulator semantics, replayed in lane order."""
+        counts = [0] * n_groups
+        totals = [0.0] * n_groups
+        mins: list = [None] * n_groups
+        maxs: list = [None] * n_groups
+        name = self.name
+        pairs = zip(gids.tolist(), values)
+        if self.distinct:
+            seen: list[set] = [set() for _ in range(n_groups)]
+            for g, v in pairs:
                 if v is None:
                     continue
-                bucket = self.seen[g]
+                bucket = seen[g]
                 if v in bucket:
                     continue
                 bucket.add(v)
-                self._accumulate(g, v)
-            return
-        name = self.name
-        if name in ("sum", "avg"):
-            counts, totals = self.counts, self.totals
-            for g, v in zip(group_ids, values):
+                counts[g] += 1
+                if isinstance(v, (int, float)):
+                    totals[g] += v
+                if mins[g] is None or v < mins[g]:
+                    mins[g] = v
+                if maxs[g] is None or v > maxs[g]:
+                    maxs[g] = v
+        elif name in ("sum", "avg"):
+            for g, v in pairs:
                 if v is not None:
                     counts[g] += 1
                     if isinstance(v, (int, float)):
                         totals[g] += v
         elif name == "count":
-            counts = self.counts
-            for g, v in zip(group_ids, values):
+            for g, v in pairs:
                 if v is not None:
                     counts[g] += 1
         elif name == "min":
-            mins = self.mins
-            for g, v in zip(group_ids, values):
-                if v is not None:
-                    m = mins[g]
-                    if m is None or v < m:  # type: ignore[operator]
-                        mins[g] = v
+            for g, v in pairs:
+                if v is not None and (mins[g] is None or v < mins[g]):
+                    mins[g] = v
+        elif name == "max":
+            for g, v in pairs:
+                if v is not None and (maxs[g] is None or v > maxs[g]):
+                    maxs[g] = v
         else:
-            maxs = self.maxs
-            for g, v in zip(group_ids, values):
-                if v is not None:
-                    m = maxs[g]
-                    if m is None or v > m:  # type: ignore[operator]
-                        maxs[g] = v
-
-    def _accumulate(self, g: int, value: object) -> None:
-        self.counts[g] += 1
-        if isinstance(value, (int, float)):
-            self.totals[g] += value
-        if self.mins[g] is None or value < self.mins[g]:  # type: ignore[operator]
-            self.mins[g] = value
-        if self.maxs[g] is None or value > self.maxs[g]:  # type: ignore[operator]
-            self.maxs[g] = value
-
-    def result(self, g: int) -> object:
-        name = self.name
+            raise ExecutionError(f"unknown aggregate {name!r}")
         if name == "count":
-            return self.counts[g]
+            return counts
         if name == "sum":
-            return self.totals[g] if self.counts[g] else None
+            return [t if c else None for t, c in zip(totals, counts)]
         if name == "avg":
-            return self.totals[g] / self.counts[g] if self.counts[g] else None
-        if name == "min":
-            return self.mins[g]
-        if name == "max":
-            return self.maxs[g]
-        raise ExecutionError(f"unknown aggregate {name!r}")
+            return [t / c if c else None for t, c in zip(totals, counts)]
+        return mins if name == "min" else maxs
 
 
 class _AggregateOp(_UnaryOpBase):
     kind = "aggregate"
 
-    def __init__(self, child: _Op, node: LogicalAggregate, batch_size: int) -> None:
+    def __init__(
+        self, child: _Op, node: LogicalAggregate, batch_size: Optional[int]
+    ) -> None:
         super().__init__(child)
         self.node = node
         self.batch_size = batch_size
@@ -676,7 +579,7 @@ class _AggregateOp(_UnaryOpBase):
             _collect_aggregates(node.having, calls)
         unique = {str(c): c for c in calls}
         self.agg_keys = list(unique)
-        self.states = [_AggState(c, child.schema) for c in unique.values()]
+        self.calls = [_AggCall(c, child.schema) for c in unique.values()]
         self.group_kernels = [
             compile_kernel(g, child.schema) for g in node.group_by
         ]
@@ -687,53 +590,41 @@ class _AggregateOp(_UnaryOpBase):
         self.detail = ", ".join(str(g) for g in node.group_by)
 
     def batches(self) -> Iterator[ColumnBatch]:
-        group_ids: dict[tuple, int] = {}
-        representatives: list[Row] = []
-        states = self.states
-        grouped = bool(self.group_kernels)
-        for batch in self.child.batches():
-            began = perf_counter()
-            n = batch.length
-            if grouped:
-                key_vectors = [k(batch) for k in self.group_kernels]
-                if len(key_vectors) == 1:
-                    keys = [(_hashable(v),) for v in key_vectors[0]]
-                else:
-                    keys = [
-                        tuple(_hashable(v) for v in values)
-                        for values in zip(*key_vectors)
-                    ]
-                ids: list[int] = []
-                append = ids.append
-                for i, key in enumerate(keys):
-                    gid = group_ids.get(key)
-                    if gid is None:
-                        gid = len(representatives)
-                        group_ids[key] = gid
-                        representatives.append(self._representative(batch, i))
-                        for state in states:
-                            state.grow()
-                    append(gid)
-            else:
-                if not representatives:
-                    representatives.append(self._representative(batch, 0))
-                    for state in states:
-                        state.grow()
-                ids = [0] * n
-            for state in states:
-                state.update(ids, batch)
-            self.seconds += perf_counter() - began
+        # Aggregation is computed over the whole input at once: bincount's
+        # sequential accumulation then matches the row engine's row order
+        # regardless of how the child chose to batch.
+        collected = list(self.child.batches())
         began = perf_counter()
-        if not representatives and not grouped:
-            representatives.append({})
-            for state in states:
-                state.grow()
+        table = concat_batches(self.child.schema, collected)
+        n = table.length
+        grouped = bool(self.group_kernels)
+        representatives: list[Row]
+        if grouped:
+            if n == 0:
+                gids = np.empty(0, np.int64)
+                representatives = []
+            else:
+                key_vectors = [k.eval(table) for k in self.group_kernels]
+                try:
+                    codes = [_equality_codes(v) for v in key_vectors]
+                    gids, rep_idx = _first_seen_groups(_combine_codes(codes))
+                except _PythonFallback:
+                    gids, rep_idx = _py_groups(key_vectors, n)
+                representatives = gather(table, rep_idx).to_rows()
+        else:
+            gids = np.zeros(n, np.int64)
+            if n:
+                representatives = gather(table, np.array([0], np.int64)).to_rows()
+            else:
+                representatives = [{}]
+        n_groups = len(representatives)
+        per_call = [c.compute(table, gids, n_groups) for c in self.calls]
         rows: list[Row] = []
         node = self.node
         for gid, representative in enumerate(representatives):
             results = {
-                key: state.result(gid)
-                for key, state in zip(self.agg_keys, states)
+                key: column[gid]
+                for key, column in zip(self.agg_keys, per_call)
             }
             if node.having is not None and not _eval_with_aggregates(
                 node.having, representative, results
@@ -746,19 +637,79 @@ class _AggregateOp(_UnaryOpBase):
                 )
             rows.append(out_row)
         self.seconds += perf_counter() - began
-        for start in range(0, len(rows), self.batch_size):
-            chunk = rows[start:start + self.batch_size]
+        size = self.batch_size if self.batch_size is not None else max(len(rows), 1)
+        for start in range(0, len(rows), size):
+            chunk = rows[start:start + size]
             yield self._emit(ColumnBatch.from_rows(chunk, self.schema))
 
-    def _representative(self, batch: ColumnBatch, i: int) -> Row:
-        return {n: batch.columns[n][i] for n in batch.names}
+
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
+
+def _is_pure_equi(condition: Expr) -> bool:
+    """True when the condition is exactly a conjunction of col = col."""
+    if isinstance(condition, BinaryOp):
+        if condition.op == "and":
+            return _is_pure_equi(condition.left) and _is_pure_equi(condition.right)
+        if condition.op == "=":
+            return isinstance(condition.left, ColumnRef) and isinstance(
+                condition.right, ColumnRef
+            )
+    return False
+
+
+def _pair_codes(
+    left: ColumnVector, right: ColumnVector
+) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """Pool one key pair into a shared integer code space.
+
+    Equal code <=> Python-equal value (so int 1 matches float 1.0, exactly
+    like the row engine's hash buckets).  Returns ``None`` when no value
+    can possibly match (string vs. numeric); raises
+    :class:`_PythonFallback` for shapes needing exact Python hashing
+    (object columns, NaN keys, ints beyond float64's exact range).
+    """
+    kl, kr = left.kind, right.kind
+    if kl == "object" or kr == "object":
+        raise _PythonFallback
+    if kl == "str" and kr == "str":
+        if left.dictionary is right.dictionary:
+            return left.data.astype(np.int64), right.data.astype(np.int64)
+        merged = np.unique(np.concatenate([left.dictionary, right.dictionary]))
+        lc = merged.searchsorted(left.dictionary).astype(np.int64)[left.data]
+        rc = merged.searchsorted(right.dictionary).astype(np.int64)[right.data]
+        return lc, rc
+    if kl == "str" or kr == "str":
+        return None
+    ld, rd = left.data, right.data
+    if "float" in (kl, kr):
+        for vec, side in ((left, ld), (right, rd)):
+            valid = side[~vec.null_mask()]
+            if not valid.size:
+                continue
+            if vec.kind == "float":
+                if bool(np.isnan(valid).any()):
+                    raise _PythonFallback
+            elif int(np.abs(valid).max()) > _FLOAT_EXACT_INT:
+                raise _PythonFallback
+        ld = ld.astype(np.float64)
+        rd = rd.astype(np.float64)
+    elif kl == "bool":
+        ld = ld.astype(np.int64)
+    elif kr == "bool":
+        rd = rd.astype(np.int64)
+    pooled = np.concatenate([ld, rd])
+    _, inv = np.unique(pooled, return_inverse=True)
+    inv = inv.astype(np.int64)
+    return inv[: len(ld)], inv[len(ld):]
 
 
 class _JoinOp(_Op):
     kind = "join"
 
     def __init__(
-        self, left: _Op, right: _Op, node: LogicalJoin, batch_size: int
+        self, left: _Op, right: _Op, node: LogicalJoin, batch_size: Optional[int]
     ) -> None:
         super().__init__()
         if node.kind not in ("inner", "left"):
@@ -778,91 +729,77 @@ class _JoinOp(_Op):
             n for n in right.schema if n not in left_present
         ]
         self.condition_kernel = compile_kernel(node.condition, self.schema)
+        # A condition that is exactly its equi-pairs needs no residual
+        # pass: code-matched candidates satisfy it by construction (null
+        # keys are excluded, which the equality conjunct would reject too).
+        self.pure_equi = _is_pure_equi(node.condition)
 
     def children(self) -> list[_Op]:
         return [self.left, self.right]
 
     @staticmethod
-    def _key_column(ref: ColumnRef, batch: ColumnBatch) -> list:
+    def _key_column(ref: ColumnRef, batch: ColumnBatch) -> ColumnVector:
         key = f"{ref.qualifier}.{ref.name}" if ref.qualifier else ref.name
         column = batch.columns.get(key)
         if column is None:
             column = batch.columns.get(ref.name)
         if column is None:
-            return [None] * batch.length
+            return ColumnVector.all_null(batch.length)
         return column
 
     def batches(self) -> Iterator[ColumnBatch]:
-        left = _concat(self.left.schema, list(self.left.batches()))
-        right = _concat(self.right.schema, list(self.right.batches()))
+        left = concat_batches(self.left.schema, list(self.left.batches()))
+        right = concat_batches(self.right.schema, list(self.right.batches()))
         began = perf_counter()
         # Orient each key pair against the first left row's values, exactly
         # like the row engine's probe of ``left_rows[0]``.
         oriented = []
         for a, b in self.keys:
             column = self._key_column(a, left)
-            first = column[0] if left.length else None
+            first = column.value_at(0) if left.length else None
             oriented.append((a, b) if first is not None else (b, a))
-        left_keys = [self._key_column(l, left) for l, _ in oriented]
-        right_keys = [self._key_column(r, right) for _, r in oriented]
-        buckets: dict[tuple, list[int]] = {}
-        if len(right_keys) == 1:
-            for j, v in enumerate(right_keys[0]):
-                buckets.setdefault((v,), []).append(j)
-        else:
-            for j, values in enumerate(zip(*right_keys)):
-                buckets.setdefault(values, []).append(j)
-        candidate_left: list[int] = []
-        candidate_right: list[int] = []
-        empty: list[int] = []
-        if len(left_keys) == 1:
-            col = left_keys[0]
-            for i in range(left.length):
-                for j in buckets.get((col[i],), empty):
-                    candidate_left.append(i)
-                    candidate_right.append(j)
-        else:
-            for i in range(left.length):
-                key = tuple(col[i] for col in left_keys)
-                for j in buckets.get(key, empty):
-                    candidate_left.append(i)
-                    candidate_right.append(j)
-        # Residual check: evaluate the full condition over candidate pairs,
-        # mirroring the row engine's per-candidate eval_expr.
-        mask: list = []
-        if candidate_left:
+        left_vecs = [self._key_column(l, left) for l, _ in oriented]
+        right_vecs = [self._key_column(r, right) for _, r in oriented]
+        try:
+            cand_left, cand_right = self._match_vectorized(
+                left, right, left_vecs, right_vecs
+            )
+        except _PythonFallback:
+            cand_left, cand_right = self._match_python(left_vecs, right_vecs)
+        # Residual check over candidate pairs, mirroring the row engine's
+        # per-candidate eval_expr (skipped for pure equi-conditions).
+        if cand_left.size and not self.pure_equi:
             needed = self.condition_kernel.col_keys
-            columns: dict[str, list] = {}
+            columns = {}
             for name in needed:
                 if name in self.right_names:
-                    source = right.columns[name]
-                    columns[name] = [source[j] for j in candidate_right]
+                    columns[name] = right.columns[name].take(cand_right)
                 else:
-                    source = left.columns[name]
-                    columns[name] = [source[i] for i in candidate_left]
-            candidates = ColumnBatch(needed, columns, len(candidate_left))
-            mask = self.condition_kernel(candidates)
-        out_left: list[int] = []
-        out_right: list[int] = []
-        position, total = 0, len(candidate_left)
-        left_join = self.join_kind == "left"
-        for i in range(left.length):
-            matched = False
-            while position < total and candidate_left[position] == i:
-                if mask[position]:
-                    out_left.append(i)
-                    out_right.append(candidate_right[position])
-                    matched = True
-                position += 1
-            if not matched and left_join:
-                out_left.append(i)
-                out_right.append(-1)
+                    columns[name] = left.columns[name].take(cand_left)
+            candidates = ColumnBatch(needed, columns, cand_left.size)
+            keep = self.condition_kernel.truth(candidates)
+            cand_left = cand_left[keep]
+            cand_right = cand_right[keep]
+        if self.join_kind == "left":
+            matched = np.zeros(left.length, np.bool_)
+            matched[cand_left] = True
+            unmatched = np.flatnonzero(~matched)
+            if unmatched.size:
+                all_left = np.concatenate([cand_left, unmatched])
+                all_right = np.concatenate(
+                    [cand_right, np.full(unmatched.size, -1, np.int64)]
+                )
+                order = np.argsort(all_left, kind="stable")
+                cand_left = all_left[order]
+                cand_right = all_right[order]
         self.seconds += perf_counter() - began
-        for start in range(0, len(out_left), self.batch_size):
+        total = int(cand_left.size)
+        size = self.batch_size if self.batch_size is not None else max(total, 1)
+        for start in range(0, total, size):
             began = perf_counter()
-            li = out_left[start:start + self.batch_size]
-            ri = out_right[start:start + self.batch_size]
-            taken: dict[tuple[str, int], list] = {}
+            li = cand_left[start:start + size]
+            ri = cand_right[start:start + size]
+            taken: dict[tuple[str, int], ColumnVector] = {}
             columns = {}
             for name in self.schema:
                 if name in self.right_names:
@@ -870,25 +807,139 @@ class _JoinOp(_Op):
                     cache_key = ("r", id(source))
                     picked = taken.get(cache_key)
                     if picked is None:
-                        picked = taken[cache_key] = [
-                            source[j] if j >= 0 else None for j in ri
-                        ]
+                        picked = taken[cache_key] = _take_padded(source, ri)
                 else:
                     source = left.columns[name]
                     cache_key = ("l", id(source))
                     picked = taken.get(cache_key)
                     if picked is None:
-                        picked = taken[cache_key] = [source[i] for i in li]
+                        picked = taken[cache_key] = source.take(li)
                 columns[name] = picked
             batch = ColumnBatch(self.schema, columns, len(li))
             self.seconds += perf_counter() - began
             yield self._emit(batch)
 
+    def _match_vectorized(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        left_vecs: list[ColumnVector],
+        right_vecs: list[ColumnVector],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate pairs via sorted build side + searchsorted probe."""
+        nl, nr = left.length, right.length
+        left_valid = np.ones(nl, np.bool_)
+        right_valid = np.ones(nr, np.bool_)
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
+        impossible = False
+        for lv, rv in zip(left_vecs, right_vecs):
+            pair = _pair_codes(lv, rv)
+            if pair is None:
+                impossible = True
+                break
+            left_parts.append(pair[0])
+            right_parts.append(pair[1])
+            left_valid &= ~lv.null_mask()
+            right_valid &= ~rv.null_mask()
+        empty = np.empty(0, np.int64)
+        if impossible:
+            return empty, empty
+        left_codes = _join_fold(left_parts, right_parts, take_left=True)
+        right_codes = _join_fold(left_parts, right_parts, take_left=False)
+        build_idx = np.flatnonzero(right_valid)
+        build_codes = right_codes[build_idx]
+        perm = np.argsort(build_codes, kind="stable")
+        sorted_codes = build_codes[perm]
+        # Stable sort => equal codes keep ascending original right order,
+        # reproducing the row engine's bucket insertion order.
+        build_order = build_idx[perm]
+        lo = np.searchsorted(sorted_codes, left_codes, "left")
+        hi = np.searchsorted(sorted_codes, left_codes, "right")
+        counts = np.where(left_valid, hi - lo, 0)
+        total = int(counts.sum())
+        if not total:
+            return empty, empty
+        cand_left = np.repeat(np.arange(nl, dtype=np.int64), counts)
+        starts = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+        cand_right = build_order[np.repeat(lo, counts) + within]
+        return cand_left, cand_right
+
+    def _match_python(
+        self,
+        left_vecs: list[ColumnVector],
+        right_vecs: list[ColumnVector],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact Python-equality hash join (row-engine bucket semantics)."""
+        left_lists = [v.to_pylist() for v in left_vecs]
+        right_lists = [v.to_pylist() for v in right_vecs]
+        nl = len(left_lists[0]) if left_lists else 0
+        nr = len(right_lists[0]) if right_lists else 0
+        buckets: dict[tuple, list[int]] = {}
+        for j in range(nr):
+            key = tuple(_hashable(lst[j]) for lst in right_lists)
+            if any(v is None for v in key):
+                continue
+            buckets.setdefault(key, []).append(j)
+        cand_left: list[int] = []
+        cand_right: list[int] = []
+        no_match: list[int] = []
+        for i in range(nl):
+            key = tuple(_hashable(lst[i]) for lst in left_lists)
+            if any(v is None for v in key):
+                continue
+            for j in buckets.get(key, no_match):
+                cand_left.append(i)
+                cand_right.append(j)
+        return (
+            np.array(cand_left, np.int64),
+            np.array(cand_right, np.int64),
+        )
+
+
+def _join_fold(
+    left_parts: list[np.ndarray], right_parts: list[np.ndarray], take_left: bool
+) -> np.ndarray:
+    """Fold multi-key pair codes into one joint code per lane.
+
+    Left and right must fold through the *same* compression, so the fold
+    runs over the concatenation and this helper slices out one side.
+    """
+    if len(left_parts) == 1:
+        return left_parts[0] if take_left else right_parts[0]
+    nl = len(left_parts[0])
+    pooled = [np.concatenate([l, r]) for l, r in zip(left_parts, right_parts)]
+    codes = _combine_codes(pooled)
+    return codes[:nl] if take_left else codes[nl:]
+
+
+def _take_padded(vec: ColumnVector, indexes: np.ndarray) -> ColumnVector:
+    """Gather with ``-1`` meaning NULL (LEFT JOIN fill)."""
+    negative = indexes < 0
+    if not negative.any():
+        return vec.take(indexes)
+    if len(vec) == 0:
+        return ColumnVector.all_null(len(indexes))
+    taken = vec.take(np.where(negative, 0, indexes))
+    mask = negative | taken.null_mask()
+    if vec.kind == "object":
+        data = taken.data.copy()
+        data[negative] = None
+        return ColumnVector("object", data, mask)
+    return ColumnVector(vec.kind, taken.data, mask, taken.dictionary)
+
+
+# ----------------------------------------------------------------------
+# Sort / limit
+# ----------------------------------------------------------------------
 
 class _SortOp(_UnaryOpBase):
     kind = "sort"
 
-    def __init__(self, child: _Op, node: LogicalSort) -> None:
+    def __init__(
+        self, child: _Op, node: LogicalSort, batch_size: Optional[int]
+    ) -> None:
         super().__init__(child)
         self.schema = list(child.schema)
         self.order = [
@@ -896,23 +947,69 @@ class _SortOp(_UnaryOpBase):
             for o in node.order_by
         ]
         self.detail = ", ".join(str(o.expr) for o in node.order_by)
-        self.batch_size = DEFAULT_BATCH_SIZE
+        self.batch_size = batch_size
 
     def batches(self) -> Iterator[ColumnBatch]:
-        table = _concat(self.schema, list(self.child.batches()))
+        table = concat_batches(self.schema, list(self.child.batches()))
         began = perf_counter()
-        indexes = list(range(table.length))
+        n = table.length
+        indexes = np.arange(n, dtype=np.int64)
         # Successive stable sorts, least-significant key first — identical
         # to the row engine's reversed() loop over order_by.
         for kernel, descending in reversed(self.order):
-            keys = [_sort_key(v) for v in kernel(table)]
-            indexes.sort(key=keys.__getitem__, reverse=descending)
+            if n == 0:
+                break
+            indexes = _sort_pass(indexes, kernel.eval(table), descending)
         self.seconds += perf_counter() - began
-        for start in range(0, len(indexes), self.batch_size):
+        size = self.batch_size if self.batch_size is not None else max(n, 1)
+        for start in range(0, n, size):
             began = perf_counter()
-            batch = _gather(table, indexes[start:start + self.batch_size])
+            batch = gather(table, indexes[start:start + size])
             self.seconds += perf_counter() - began
             yield self._emit(batch)
+
+
+def _sort_pass(
+    indexes: np.ndarray, vec: ColumnVector, descending: bool
+) -> np.ndarray:
+    """One stable sort pass by ``vec``, refining the current order.
+
+    Equivalent to the row engine's stable sort by ``_sort_key`` — NULLs
+    first ascending (last descending), then by value — realised as a value
+    pass (NULL lanes pinned to one constant so they tie) followed by a
+    null-flag pass.  Object columns and NaN keys replay ``_sort_key``
+    itself: Python sorts with NaN are order-dependent, so only the exact
+    same comparison sequence reproduces them.
+    """
+    kind = vec.kind
+    if kind == "object" or (
+        kind == "float" and bool(np.isnan(vec.data).any())
+    ):
+        keys = [_sort_key(v) for v in vec.to_pylist()]
+        current = indexes.tolist()
+        current.sort(key=keys.__getitem__, reverse=descending)
+        return np.array(current, np.int64)
+    data = vec.data
+    mask = vec.mask
+    if mask is not None:
+        # Pin NULL lanes to a single constant so the value pass leaves
+        # their relative order to the null-flag pass alone.  (Computed
+        # vectors can hold arbitrary garbage under the mask.)
+        data = np.where(mask, data.dtype.type(0), data)
+    permuted = data[indexes]
+    if descending:
+        sub = _stable_desc_argsort(permuted)
+    else:
+        sub = np.argsort(permuted, kind="stable")
+    indexes = indexes[sub]
+    if mask is not None and mask.any():
+        flags = (~mask)[indexes]  # False (NULL) sorts first ascending
+        if descending:
+            sub = _stable_desc_argsort(flags)
+        else:
+            sub = np.argsort(flags, kind="stable")
+        indexes = indexes[sub]
+    return indexes
 
 
 class _LimitOp(_UnaryOpBase):
@@ -935,7 +1032,7 @@ class _LimitOp(_UnaryOpBase):
                 if remaining == 0:
                     return
             else:
-                yield self._emit(_slice_batch(batch, remaining))
+                yield self._emit(slice_batch(batch, remaining))
                 return
 
 
@@ -947,9 +1044,13 @@ def compile_plan(
     node: LogicalNode,
     database: Database,
     catalog: Optional[Catalog] = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
 ) -> _Op:
     """Lower a logical plan to a tree of columnar operators.
+
+    ``batch_size=None`` (the default) lets each scan pick its own batch —
+    the whole table, capped at ``2**20`` lanes — which is the fastest
+    shape for array kernels; pass an explicit size to bound peak memory.
 
     Raises :class:`UnsupportedFeature` for shapes only the row engine
     handles; any other :class:`ExecutionError` is a genuine query error.
@@ -974,9 +1075,7 @@ def compile_plan(
         return _ProjectOp(child, node)
     if isinstance(node, LogicalSort):
         child = compile_plan(node.child, database, catalog, batch_size)
-        op = _SortOp(child, node)
-        op.batch_size = batch_size
-        return op
+        return _SortOp(child, node, batch_size)
     if isinstance(node, LogicalLimit):
         child = compile_plan(node.child, database, catalog, batch_size)
         return _LimitOp(child, node.count)
@@ -998,7 +1097,7 @@ class ColumnarExecutor:
         self,
         database: Database,
         catalog: Optional[Catalog] = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
         tracer=None,
         metrics=None,
     ) -> None:

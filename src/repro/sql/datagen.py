@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 
+from .batch import ColumnTable
 from .executor import Database, Row
 
 NATIONS = [
@@ -44,8 +45,18 @@ def generate_database(
     customers: int = 60,
     orders: int = 300,
     max_lines_per_order: int = 4,
+    layout: str = "rows",
 ) -> Database:
-    """Build an in-memory mini TPC-H database with valid foreign keys."""
+    """Build an in-memory mini TPC-H database with valid foreign keys.
+
+    ``layout="rows"`` (the default) stores each table as a list of row
+    dicts; ``layout="columnar"`` stores :class:`~repro.sql.batch.ColumnTable`
+    objects — the same logical data, already encoded as typed arrays, so
+    the columnar engine scans with zero per-row transposition.  Both
+    layouts work with both engines (a ColumnTable iterates as row dicts).
+    """
+    if layout not in ("rows", "columnar"):
+        raise ValueError(f"layout must be 'rows' or 'columnar', got {layout!r}")
     rng = random.Random(seed)
     n_suppliers = max(1, int(suppliers * scale))
     n_parts = max(1, int(parts * scale))
@@ -162,4 +173,8 @@ def generate_database(
         orders_rows.append(order)
     database["orders"] = orders_rows
     database["lineitem"] = lineitem_rows
+    if layout == "columnar":
+        return {
+            name: ColumnTable.from_rows(rows) for name, rows in database.items()
+        }
     return database

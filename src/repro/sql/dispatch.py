@@ -16,7 +16,6 @@ from typing import Optional
 
 from .catalog import DEFAULT_CATALOG, Catalog
 from .columnar import (
-    DEFAULT_BATCH_SIZE,
     ColumnarExecutor,
     UnsupportedFeature,
 )
@@ -46,7 +45,7 @@ def choose_engine(
     plan: LogicalNode,
     database: Database,
     catalog: Optional[Catalog] = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
 ) -> tuple[str, str]:
     """``(engine, reason)`` the dispatcher would pick for ``plan``."""
     try:
@@ -70,7 +69,7 @@ def execute_plan(
     database: Database,
     catalog: Optional[Catalog] = None,
     engine: str = "auto",
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     tracer=None,
     metrics=None,
 ) -> QueryOutcome:
@@ -121,7 +120,7 @@ def execute_sql(
     database: Database,
     catalog: Optional[Catalog] = None,
     engine: str = "auto",
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     tracer=None,
     metrics=None,
 ) -> QueryOutcome:
@@ -139,7 +138,7 @@ def run_query(
     database: Database,
     catalog: Optional[Catalog] = None,
     engine: str = "auto",
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     tracer=None,
     metrics=None,
 ) -> list[Row]:

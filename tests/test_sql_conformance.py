@@ -43,6 +43,39 @@ def _catalog() -> Catalog:
     return catalog
 
 
+def _numpy_catalog() -> Catalog:
+    """Tables for the numpy-specific corpus (NaN, all-null, empty)."""
+    catalog = _catalog()
+    catalog.register(TableSchema(
+        "metrics",
+        _cols("m_id:int", "m_val:float", "m_grp:str"),
+        base_rows=6, bytes_per_row=30,
+    ))
+    catalog.register(TableSchema(
+        "blanks",
+        _cols("b_id:int", "b_note:str", "b_val:float"),
+        base_rows=4, bytes_per_row=30,
+    ))
+    return catalog
+
+
+def _numpy_database() -> dict:
+    nan = float("nan")
+    database = _database()
+    database["metrics"] = [
+        {"m_id": 1, "m_val": 2.5, "m_grp": "x"},
+        {"m_id": 2, "m_val": nan, "m_grp": "x"},
+        {"m_id": 3, "m_val": None, "m_grp": "y"},
+        {"m_id": 4, "m_val": -1.0, "m_grp": "y"},
+        {"m_id": 5, "m_val": nan, "m_grp": "y"},
+        {"m_id": 6, "m_val": 9.0, "m_grp": "x"},
+    ]
+    database["blanks"] = [
+        {"b_id": i, "b_note": None, "b_val": None} for i in range(1, 5)
+    ]
+    return database
+
+
 def _database() -> dict:
     return {
         "items": [
@@ -194,6 +227,139 @@ def test_sql_like_literal_metacharacters():
     assert sql_like("anything", "%")
     assert sql_like("a", "_")
     assert not sql_like("ab", "_")
+
+
+# ----------------------------------------------------------------------
+# Numpy-specific semantics: NaN vs NULL, dictionary strings with glob
+# metacharacters, empty batches, all-null columns.  Every case is
+# differential: the row engine's answer is the spec.
+# ----------------------------------------------------------------------
+
+#: NaN is a *value* (counted, propagated through sums) while NULL is the
+#: *absence* of one (skipped by aggregates, excluded by comparisons) —
+#: the classic place a numpy rewrite conflates the two.
+NAN_CORPUS = [
+    ("nan_comparison_false",
+     "select m_id from metrics where m_val > 1.0 order by m_id"),
+    ("nan_not_self_equal",
+     "select m_id from metrics where m_val = m_val order by m_id"),
+    ("nan_is_not_null",
+     "select m_id from metrics where m_val is null order by m_id"),
+    ("nan_counted_not_skipped",
+     "select count(*) as all_rows, count(m_val) as with_val from metrics"),
+    ("nan_poisons_sum_and_avg",
+     "select sum(m_val) as total, avg(m_val) as mean from metrics"),
+    ("nan_grouped_aggregates",
+     "select m_grp, count(m_val) as n, sum(m_val) as total from metrics "
+     "group by m_grp order by m_grp"),
+    ("nan_min_max_first_seen",
+     "select m_grp, min(m_val) as lo, max(m_val) as hi from metrics "
+     "group by m_grp order by m_grp"),
+    ("nan_case_branch",
+     "select m_id, case when m_val > 0 then 'pos' when m_val is null "
+     "then 'none' else 'other' end as bucket from metrics order by m_id"),
+]
+
+#: Equality and LIKE against dictionary-encoded strings whose *data*
+#: contains glob metacharacters ("10%", "10[%", "beta*") — a regex or
+#: fnmatch translation applied to the dictionary must not let them match
+#: as wildcards.
+METACHAR_CORPUS = [
+    ("dict_equality_percent",
+     "select id from items where tag = '10%' order by id"),
+    ("dict_equality_bracket",
+     "select id from items where tag = '10[%' order by id"),
+    ("dict_like_bracket_literal",
+     "select id from items where tag like '10[%' order by id"),
+    ("dict_like_star_is_literal",
+     "select id from items where tag like '%a*' order by id"),
+    ("dict_in_metachars",
+     "select id from items where tag in ('10%', 'beta*', 'nope') order by id"),
+]
+
+
+@pytest.fixture(scope="module")
+def numpy_setup():
+    return _numpy_database(), _numpy_catalog()
+
+
+def _json_rows(rows):
+    """Order-preserving row images; NaN-tolerant (NaN != NaN under ==)."""
+    return [json.dumps(r, sort_keys=True, default=str) for r in rows]
+
+
+@pytest.mark.parametrize("case_id,sql", NAN_CORPUS + METACHAR_CORPUS,
+                         ids=[c[0] for c in NAN_CORPUS + METACHAR_CORPUS])
+def test_numpy_semantics_match_row_engine(case_id, sql, numpy_setup):
+    database, catalog = numpy_setup
+    row = execute_sql(sql, database, catalog, engine="row").rows
+    columnar = execute_sql(sql, database, catalog, engine="columnar").rows
+    assert _json_rows(columnar) == _json_rows(row)
+
+
+def test_nan_is_distinct_from_null(numpy_setup):
+    database, catalog = numpy_setup
+    sql = "select count(*) as all_rows, count(m_val) as with_val from metrics"
+    for engine in ENGINES:
+        (row,) = execute_sql(sql, database, catalog, engine=engine).rows
+        # 6 rows, 1 NULL: NaN rows still count as present values.
+        assert row == {"all_rows": 6, "with_val": 5}
+
+
+#: Queries that must behave identically over a zero-row table.
+EMPTY_CORPUS = [
+    ("empty_filter_project",
+     "select id, price * 2 as dbl from items where qty > 1 order by id"),
+    ("empty_global_aggregate",
+     "select count(*) as n, sum(price) as total, avg(qty) as mean from items"),
+    ("empty_group_by",
+     "select grp, count(*) as n from items group by grp order by grp"),
+    ("empty_join_left_input",
+     "select i.id, o.owner from items i join owners o on i.id = o.oid "
+     "order by i.id"),
+    ("empty_sort_limit",
+     "select id, price from items order by price desc, id limit 3"),
+]
+
+
+@pytest.mark.parametrize("case_id,sql", EMPTY_CORPUS,
+                         ids=[c[0] for c in EMPTY_CORPUS])
+@pytest.mark.parametrize("layout", ("rows", "columnar"))
+def test_empty_table_both_layouts(case_id, sql, layout, numpy_setup):
+    _, catalog = numpy_setup
+    items = ([] if layout == "rows"
+             else catalog.resolve_table("items").empty_table())
+    database = {"items": items, "owners": _database()["owners"]}
+    expected = execute_sql(sql, database, catalog, engine="row").rows
+    for engine in ("columnar", "auto"):
+        got = execute_sql(sql, database, catalog, engine=engine).rows
+        assert got == expected
+
+
+#: All-null columns (typed ``object`` by inference — no valid value to
+#: pick a dtype from) must survive predicates, grouping, and aggregation.
+ALL_NULL_CORPUS = [
+    ("all_null_is_null_filter",
+     "select b_id from blanks where b_note is null order by b_id"),
+    ("all_null_comparison_empty",
+     "select b_id from blanks where b_val > 0 order by b_id"),
+    ("all_null_aggregates",
+     "select count(b_val) as n, sum(b_val) as total, min(b_note) as lo "
+     "from blanks"),
+    ("all_null_group_key",
+     "select b_note, count(*) as n from blanks group by b_note"),
+    ("all_null_concat",
+     "select b_id, b_note || '!' as noisy from blanks order by b_id"),
+]
+
+
+@pytest.mark.parametrize("case_id,sql", ALL_NULL_CORPUS,
+                         ids=[c[0] for c in ALL_NULL_CORPUS])
+def test_all_null_column_matches_row_engine(case_id, sql, numpy_setup):
+    database, catalog = numpy_setup
+    row = execute_sql(sql, database, catalog, engine="row").rows
+    columnar = execute_sql(sql, database, catalog, engine="columnar").rows
+    assert _json_rows(columnar) == _json_rows(row)
 
 
 def test_forced_columnar_unsupported_is_loud(setup):

@@ -1,0 +1,134 @@
+"""Property-based differential test: columnar engine == row engine.
+
+Hypothesis generates random tables (mixed int/float/string columns with
+NULLs) crossed with random supported query fragments; every sample must
+produce the same multiset of rows from both engines.  Results are
+compared after canonical row sorting because not every generated
+fragment carries a total ORDER BY.
+
+The generators deliberately avoid the documented engine divergences:
+no division or modulo (the row engine raises on a zero divisor mid-scan
+where numpy masks the lane) and no NaN values (NaN group keys force the
+columnar engine down its Python fallback anyway, which the conformance
+corpus covers directly).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Catalog, TableSchema, execute_sql
+from repro.sql.catalog import _cols
+
+CATALOG = Catalog()
+CATALOG.register(TableSchema(
+    "t",
+    _cols("i:int", "f:float", "s:str", "g:str"),
+    base_rows=25, bytes_per_row=40,
+))
+
+_FLOATS = (-2.5, -1.0, 0.0, 0.5, 1.25, 3.0, 7.5, 100.0)
+_STRINGS = ("", "a", "ab", "abc", "b%", "c_d", "e*f", "x[y")
+_GROUPS = ("g1", "g2", "g3")
+
+_row = st.fixed_dictionaries({
+    "i": st.one_of(st.none(), st.integers(-5, 20)),
+    "f": st.one_of(st.none(), st.sampled_from(_FLOATS)),
+    "s": st.one_of(st.none(), st.sampled_from(_STRINGS)),
+    "g": st.sampled_from(_GROUPS),
+})
+_table = st.lists(_row, min_size=0, max_size=25)
+
+_predicates = st.sampled_from([
+    "i > {c}",
+    "i <= {c}",
+    "f >= {c}",
+    "i + 1 < f",
+    "i = {c} or f > {c}",
+    "i is null",
+    "f is not null",
+    "s is null",
+    "s = 'ab'",
+    "s like 'a%'",
+    "s like '%_%'",
+    "s like 'e*f'",
+    "s in ('a', 'b%', 'zzz')",
+    "g in ('g1', 'g3')",
+    "not (i > {c})",
+    "case when i > {c} then f > 0 else g = 'g2' end",
+])
+
+#: (select list, ORDER BY clauses valid over that output schema).
+_SELECTS = [
+    ("i, f, s, g", ("", " order by g, i", " order by f desc, i, s")),
+    ("i + 1 as i2, f * 2 as f2, g", ("", " order by g, i2")),
+    ("i - f as delta, s", ("", " order by delta, s")),
+    ("-i as neg, f", ("", " order by neg desc, f")),
+    ("case when i > {c} then 'hi' when i is null then 'null' "
+     "else 'lo' end as bucket, g", ("", " order by bucket, g")),
+    ("g || '-' || i as label, f", ("", " order by label")),
+    ("coalesce(i, {c}) as filled, g", ("", " order by filled, g")),
+    ("distinct g, s", ("", " order by g, s")),
+]
+_select_lists = st.sampled_from(_SELECTS)
+
+_agg_lists = st.sampled_from([
+    "count(*) as n, sum(f) as total",
+    "count(i) as n, avg(f) as mean",
+    "min(i) as lo, max(i) as hi",
+    "min(s) as first_s, max(f) as peak",
+    "sum(i) as si, count(s) as cs",
+])
+
+_limits = st.sampled_from(["", " limit 5"])
+
+
+def _canon(rows: list[dict]) -> list[str]:
+    return sorted(json.dumps(r, sort_keys=True, default=str) for r in rows)
+
+
+def _run_both(sql: str, rows: list[dict]) -> None:
+    database = {"t": rows}
+    row = execute_sql(sql, database, CATALOG, engine="row").rows
+    columnar = execute_sql(sql, database, CATALOG, engine="columnar").rows
+    assert _canon(columnar) == _canon(row), sql
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_table, select=_select_lists, pred=_predicates,
+       c=st.integers(-3, 12), order_pick=st.integers(0, 7),
+       limit=_limits)
+def test_scan_fragments_agree(rows, select, pred, c, order_pick, limit):
+    select_list, orders = select
+    order = orders[order_pick % len(orders)]
+    if limit and not order:
+        # Both engines take a deterministic scan-order prefix, but the
+        # canonical (sorted) comparison cannot express "any 5 of the
+        # matches" — so only pair LIMIT with ORDER BY.
+        limit = ""
+    sql = (f"select {select_list.format(c=c)} from t "
+           f"where {pred.format(c=c)}{order}{limit}")
+    _run_both(sql, rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_table, aggs=_agg_lists, pred=_predicates, c=st.integers(-3, 12),
+       grouped=st.booleans())
+def test_aggregate_fragments_agree(rows, aggs, pred, c, grouped):
+    group = " group by g" if grouped else ""
+    head = f"g, {aggs}" if grouped else aggs
+    sql = f"select {head} from t where {pred.format(c=c)}{group}"
+    _run_both(sql, rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=_table, right=_table, c=st.integers(-3, 12),
+       kind=st.sampled_from(["join", "left join"]))
+def test_join_fragments_agree(left, right, c, kind):
+    # Self-join keyed on a nullable int column: NULL keys never match.
+    sql = (f"select a.i, a.g, b.f from t a {kind} t b on a.i = b.i "
+           f"where a.f > {c} or a.f is null")
+    _run_both(sql, left + right)
