@@ -111,6 +111,15 @@ class ResourceLedger:
         self.connections_released_total = 0
         # -- cache workers ------------------------------------------------
         self._cache: dict[int, _CacheShadow] = {}
+        # -- shuffle replication ------------------------------------------
+        #: Bytes currently held as redundant replica copies across the
+        #: cluster, plus lifetime totals.  Replicas must conserve: every
+        #: replica byte written is eventually released, dropped with its
+        #: worker, or lost with the job.
+        self.replica_bytes_outstanding = 0.0
+        self.replica_bytes_written_total = 0.0
+        self.replica_bytes_released_total = 0.0
+        self.replica_bytes_dropped_total = 0.0
         # -- reconciliation bookkeeping -----------------------------------
         self.checkpoints_run = 0
 
@@ -230,9 +239,45 @@ class ResourceLedger:
             )
             shadow.entries = 0
 
-    def cache_dropped_all(self, machine_id: int) -> None:
-        """Shadow a Cache Worker process death: all state is lost at once."""
+    def cache_dropped_all(
+        self, machine_id: int, replica_bytes: float = 0.0
+    ) -> None:
+        """Shadow a Cache Worker process death: all state is lost at once.
+
+        ``replica_bytes`` is the portion of the lost bytes that were
+        redundant replica copies; they leave the outstanding replica pool
+        with the dead worker.
+        """
         self._cache[machine_id] = _CacheShadow()
+        if replica_bytes:
+            self.replica_bytes_outstanding -= replica_bytes
+            self.replica_bytes_dropped_total += replica_bytes
+            self._check_replica_floor(machine_id)
+
+    # ------------------------------------------------------------------
+    # Shuffle-replication shadow accounting
+    # ------------------------------------------------------------------
+    def cache_replica_written(self, machine_id: int, n_bytes: float) -> None:
+        """Shadow one redundant replica write (beyond the primary copy)."""
+        self.replica_bytes_outstanding += n_bytes
+        self.replica_bytes_written_total += n_bytes
+
+    def cache_replica_released(self, machine_id: int, n_bytes: float) -> None:
+        """Shadow one replica entry release (consume or job teardown)."""
+        self.replica_bytes_outstanding -= n_bytes
+        self.replica_bytes_released_total += n_bytes
+        self._check_replica_floor(machine_id)
+
+    def _check_replica_floor(self, machine_id: int) -> None:
+        if self.replica_bytes_outstanding < -_BYTES_EPS:
+            self._violate(
+                "replica_bytes",
+                f"machine {machine_id} released/dropped more replica bytes "
+                "than were ever written",
+                expected=0.0,
+                actual=self.replica_bytes_outstanding,
+            )
+            self.replica_bytes_outstanding = 0.0
 
     # ------------------------------------------------------------------
     # Reconciliation
@@ -373,6 +418,16 @@ class ResourceLedger:
                     expected=0,
                     actual=cluster.network.open_connections,
                 )
+            if self.replica_bytes_outstanding > _BYTES_EPS:
+                self._violate(
+                    "replica_bytes",
+                    "replica bytes still outstanding after all jobs "
+                    f"terminated ({self.replica_bytes_written_total:g} "
+                    "written over the run)",
+                    checkpoint=checkpoint,
+                    expected=0.0,
+                    actual=self.replica_bytes_outstanding,
+                )
             for machine in cluster.machines:
                 worker = machine.cache_worker
                 if worker is None:
@@ -400,5 +455,9 @@ class ResourceLedger:
             "connections_outstanding": self.connections_outstanding,
             "connections_registered_total": self.connections_registered_total,
             "connections_released_total": self.connections_released_total,
+            "replica_bytes_outstanding": self.replica_bytes_outstanding,
+            "replica_bytes_written_total": self.replica_bytes_written_total,
+            "replica_bytes_released_total": self.replica_bytes_released_total,
+            "replica_bytes_dropped_total": self.replica_bytes_dropped_total,
             "violations": [v.to_dict() for v in self.violations],
         }

@@ -164,6 +164,44 @@ PROFILES: dict[str, ChaosProfile] = {
         perturbation_probability=0.6,
         app_error_probability=0.1,
     ),
+    # Shuffle-v2 targeted profiles: each stresses one leg of the resilient
+    # adaptive shuffle (replication failover, mode switching under pressure,
+    # and load-aware replica placement under skewed capacity).
+    "cache-worker-loss-during-shuffle": ChaosProfile(
+        name="cache-worker-loss-during-shuffle",
+        min_events=2,
+        max_events=6,
+        kind_weights=(
+            (FailureKind.CACHE_WORKER_LOSS.value, 6.0),
+            (FailureKind.TASK_CRASH.value, 1.0),
+        ),
+        perturbation_probability=0.2,
+    ),
+    "mode-switch-under-crash": ChaosProfile(
+        name="mode-switch-under-crash",
+        min_events=2,
+        max_events=6,
+        kind_weights=(
+            (FailureKind.MACHINE_CRASH.value, 2.0),
+            (FailureKind.PROCESS_RESTART.value, 2.0),
+            (FailureKind.CACHE_WORKER_LOSS.value, 2.0),
+            (FailureKind.TASK_CRASH.value, 1.0),
+        ),
+        # Always perturb: shrunken cache capacity is what drives the
+        # pressure-demotion arm of the mode controller mid-campaign.
+        perturbation_probability=1.0,
+    ),
+    "replica-placement-skew": ChaosProfile(
+        name="replica-placement-skew",
+        min_events=1,
+        max_events=4,
+        kind_weights=(
+            (FailureKind.MACHINE_QUARANTINE.value, 3.0),
+            (FailureKind.CACHE_WORKER_LOSS.value, 3.0),
+        ),
+        # Skewed capacity makes load-aware placement earn its keep.
+        perturbation_probability=1.0,
+    ),
 }
 
 

@@ -209,6 +209,51 @@ def check_bounded_recovery(runtime: SwiftRuntime) -> list[Violation]:
     return out
 
 
+def check_bounded_shuffle_recovery(
+    campaign: Campaign, runtime: SwiftRuntime
+) -> list[Violation]:
+    """Shuffle-loss recovery must be exactly as expensive as it has to be.
+
+    The runtime keeps a structured log of every Cache Worker loss decision
+    (``SwiftRuntime.shuffle_recovery_log``).  Three bounds hold: a producer
+    rerun is only legitimate when the lost share had *zero* surviving
+    replicas; a failover requires at least one survivor; and no shuffle
+    recovery may be logged at all unless the campaign injected a
+    CACHE_WORKER_LOSS event.
+    """
+    out = []
+    log = runtime.shuffle_recovery_log
+    if log and not campaign.has_kind(FailureKind.CACHE_WORKER_LOSS):
+        out.append(
+            Violation(
+                "bounded-shuffle-recovery",
+                f"{len(log)} shuffle recovery actions logged but the "
+                "campaign injected no cache_worker_loss",
+            )
+        )
+    for record in log:
+        if record["action"] == "rerun" and record["survivors"] > 0:
+            out.append(
+                Violation(
+                    "bounded-shuffle-recovery",
+                    f"producer rerun for edge {record['edge_key']} despite "
+                    f"{record['survivors']} surviving replica holder(s) — "
+                    "failover should have served the share",
+                    record["job_id"],
+                )
+            )
+        elif record["action"] == "failover" and record["survivors"] <= 0:
+            out.append(
+                Violation(
+                    "bounded-shuffle-recovery",
+                    f"failover recorded for edge {record['edge_key']} with "
+                    "no surviving replica holder",
+                    record["job_id"],
+                )
+            )
+    return out
+
+
 def check_failure_reasons(
     campaign: Campaign, results: list[JobResult]
 ) -> list[Violation]:
@@ -282,5 +327,6 @@ def check_all(
     violations.extend(check_cache_accounting(runtime))
     violations.extend(check_resource_conservation(runtime))
     violations.extend(check_bounded_recovery(runtime))
+    violations.extend(check_bounded_shuffle_recovery(campaign, runtime))
     violations.extend(check_failure_reasons(campaign, results))
     return violations

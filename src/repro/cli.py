@@ -8,13 +8,14 @@ Commands
     Run one or more experiments by key and print their tables.
 ``report [--quick] [--out PATH] [--jobs N]``
     Run everything and write the EXPERIMENTS.md document.
-``bench [--quick] [--suite all|simulator|sql|scale] [--out PATH] [--sql-out PATH] [--check]``
+``bench [--quick] [--suite all|simulator|sql|scale|service|shuffle] [--out PATH] [--sql-out PATH] [--check]``
     Benchmark the simulator substrate (BENCH_simulator.json) and the SQL
     engines (BENCH_sql.json).  ``--suite scale`` runs only the paper-scale
-    trace replay and merges its entry into the simulator JSON.  ``--check``
-    compares a fresh run against the committed JSON instead of overwriting
-    it and exits non-zero when a gated metric regressed beyond
-    ``--tolerance``.
+    trace replay and merges its entry into the simulator JSON;
+    ``--suite shuffle`` measures v1 producer-rerun vs v2 replica-failover
+    recovery under an injected Cache Worker loss.  ``--check`` compares a
+    fresh run against the committed JSON instead of overwriting it and
+    exits non-zero when a gated metric regressed beyond ``--tolerance``.
 ``sql [--query TEXT | --file PATH] [--scale N] [--execute] [--engine E]``
     Compile a Swift-language query to a job DAG, show the plan and the
     graphlet partitioning, simulate it, and optionally execute it on a
@@ -313,6 +314,9 @@ def _print_simulator_summary(payload: dict) -> None:
     scale = payload.get("scale")
     if scale:
         _print_scale_summary(scale)
+    shuffle = payload.get("shuffle")
+    if shuffle:
+        _print_shuffle_summary(shuffle)
 
 
 def _print_scale_summary(scale: dict) -> None:
@@ -337,6 +341,15 @@ def _print_service_summary(service: dict) -> None:
           f"{service['queue_time_p95_s']:.1f}s simulated, "
           f"{service['rejected']} rejected, "
           f"{service['deadline_overruns']} deadline overruns")
+
+
+def _print_shuffle_summary(shuffle: dict) -> None:
+    print(f"shuffle recovery [{shuffle['job']}]: cache worker lost on "
+          f"machine {shuffle['machine_lost']} at "
+          f"{shuffle['at_fraction']:.0%} of the baseline; "
+          f"v1 rerun +{shuffle['v1_recovery_s']:.2f}s -> "
+          f"v2 failover +{shuffle['v2_recovery_s']:.2f}s "
+          f"({shuffle['v2_failovers']} failover read(s), gate: v2 < v1)")
 
 
 def _print_sql_summary(payload: dict) -> None:
@@ -388,6 +401,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             bench.merge_payload(args.out, payload)
             print(f"updated scale entry in {args.out}", file=sys.stderr)
+    if args.suite == "shuffle":
+        payload = bench.run_shuffle_benchmarks(quick=args.quick, echo=echo)
+        _print_shuffle_summary(payload["shuffle"])
+        if args.check:
+            problems += _check_payload(args.out, payload, args.tolerance)
+        else:
+            bench.merge_payload(args.out, payload)
+            print(f"updated shuffle entry in {args.out}", file=sys.stderr)
     if args.suite == "service":
         payload = bench.run_service_benchmarks(quick=args.quick, echo=echo)
         _print_service_summary(payload["service"])
@@ -604,11 +625,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--quick", action="store_true", help="smaller scenarios")
     p_bench.add_argument("--suite",
-                         choices=("all", "simulator", "sql", "scale", "service"),
+                         choices=("all", "simulator", "sql", "scale",
+                                  "service", "shuffle"),
                          default="all",
-                         help="which benchmark suite(s) to run (scale and "
-                              "service run a single scenario and merge its "
-                              "entry into the simulator JSON)")
+                         help="which benchmark suite(s) to run (scale, "
+                              "service, and shuffle run a single scenario "
+                              "and merge its entry into the simulator JSON)")
     _add_output_option(p_bench, default="BENCH_simulator.json",
                        what="the simulator JSON document")
     p_bench.add_argument("--sql-out", default="BENCH_sql.json", metavar="PATH",
@@ -670,9 +692,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--workload", default="terasort",
                          choices=("terasort", "tpch-q13", "trace"),
                          help="workload to inject into (default terasort)")
+    from .chaos import PROFILES
+
     p_chaos.add_argument("--profile", default="standard",
-                         choices=("light", "standard", "hostile"),
-                         help="failure hostility profile (default standard)")
+                         choices=tuple(sorted(PROFILES)),
+                         help="failure profile: a hostility level (light/"
+                              "standard/hostile) or a named scenario such "
+                              "as cache-worker-loss-during-shuffle "
+                              "(default standard)")
     p_chaos.add_argument("--no-shrink", action="store_true",
                          help="report violations without minimizing them")
     p_chaos.add_argument("--audit", action=argparse.BooleanOptionalAction,

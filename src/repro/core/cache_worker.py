@@ -13,11 +13,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from ..obs.records import Category
 from ..sim.config import CacheWorkerConfig
 from ..sim.disk import DiskModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
     from ..audit.ledger import ResourceLedger
+    from ..obs.tracer import Tracer
 
 
 @dataclass
@@ -37,6 +39,9 @@ class CacheEntry:
     #: Spilled bytes already charged to readers; once every spilled byte
     #: has been read back (promoted), further reads are free.
     bytes_read_back: float = 0.0
+    #: True for redundant copies written by shuffle replication; replica
+    #: bytes are accounted separately on the audit ledger.
+    replica: bool = False
 
     @property
     def total_bytes(self) -> float:
@@ -62,6 +67,9 @@ class CacheWorker:
         self.spill_events = 0
         #: Optional resource-accounting ledger (:mod:`repro.audit`).
         self.ledger: Optional["ResourceLedger"] = None
+        #: Optional tracer; failure/recovery instants for drops and job
+        #: releases are emitted here, atomically with the ledger hooks.
+        self.tracer: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -110,12 +118,16 @@ class CacheWorker:
         n_bytes: float,
         pending_consumers: int,
         now: float,
+        replica: bool = False,
     ) -> float:
         """Store ``n_bytes`` of shuffle data; returns extra delay from spill.
 
         If the write does not fit, least-recently-used entries are spilled
         to disk in large chunks until it does; the spill time is returned so
         the caller can extend the writing task's shuffle-write phase.
+        ``replica`` marks redundant copies written by shuffle replication;
+        their bytes are additionally tracked on the ledger's replica
+        counters.
         """
         if n_bytes < 0:
             raise ValueError("n_bytes must be non-negative")
@@ -126,7 +138,7 @@ class CacheWorker:
         entry = self._entries.get(key)
         new_entry = entry is None
         if entry is None:
-            entry = CacheEntry(key=key, bytes_in_memory=0.0)
+            entry = CacheEntry(key=key, bytes_in_memory=0.0, replica=replica)
             self._entries[key] = entry
         mem_delta = disk_delta = 0.0
         if n_bytes > self.config.memory_capacity:
@@ -146,6 +158,8 @@ class CacheWorker:
             self.ledger.cache_written(
                 self.machine_id, mem_delta, disk_delta, new_entry
             )
+            if entry.replica:
+                self.ledger.cache_replica_written(self.machine_id, n_bytes)
         return spill_delay
 
     def _ensure_capacity(self, n_bytes: float) -> float:
@@ -222,23 +236,62 @@ class CacheWorker:
             return True
         return False
 
-    def drop_all(self) -> list[CacheEntry]:
+    def drop_all(self, now: float = 0.0, reason: str = "") -> list[CacheEntry]:
         """Lose every entry at once (Cache Worker process death).
 
         Returns the lost entries so the runtime can re-run their producers;
         spill counters survive (they describe the dead process's history).
+        The ledger drop and the obs failure instant are emitted together,
+        so chaos repros attribute the lost bytes to the triggering failure
+        rather than to whichever reconciliation checkpoint runs next.
         """
         lost = list(self._entries.values())
+        mem_lost = sum(e.bytes_in_memory for e in lost)
+        disk_lost = sum(e.bytes_on_disk for e in lost)
+        replica_lost = sum(e.total_bytes for e in lost if e.replica)
         self._entries.clear()
         self.bytes_in_memory = 0.0
         if self.ledger is not None:
-            self.ledger.cache_dropped_all(self.machine_id)
+            self.ledger.cache_dropped_all(
+                self.machine_id, replica_bytes=replica_lost
+            )
+        if self.tracer is not None and self.tracer.enabled and lost:
+            self.tracer.instant(
+                Category.FAILURE,
+                "cache.drop_all",
+                now,
+                scope=f"M{self.machine_id}",
+                machine=self.machine_id,
+                entries_lost=len(lost),
+                bytes_in_memory=mem_lost,
+                bytes_on_disk=disk_lost,
+                replica_bytes=replica_lost,
+                reason=reason,
+            )
         return lost
 
-    def release_job(self, job_id: str) -> None:
-        """Drop all entries of a job (job completion or restart)."""
-        for key in [k for k in self._entries if k[0] == job_id]:
+    def release_job(self, job_id: str, now: float = 0.0) -> None:
+        """Drop all entries of a job (job completion or restart).
+
+        Emits one obs instant summarizing the released bytes, in the same
+        step as the per-entry ledger releases.
+        """
+        keys = [k for k in self._entries if k[0] == job_id]
+        mem = sum(self._entries[k].bytes_in_memory for k in keys)
+        disk = sum(self._entries[k].bytes_on_disk for k in keys)
+        for key in keys:
             self._release(key)
+        if self.tracer is not None and self.tracer.enabled and keys:
+            self.tracer.instant(
+                Category.CACHE,
+                "cache.release_job",
+                now,
+                job_id=job_id,
+                scope=f"M{self.machine_id}",
+                entries_released=len(keys),
+                bytes_in_memory=mem,
+                bytes_on_disk=disk,
+            )
 
     def _release(self, key: tuple[str, str]) -> None:
         entry = self._entries.pop(key, None)
@@ -247,6 +300,10 @@ class CacheWorker:
                 self.ledger.cache_released(
                     self.machine_id, entry.bytes_in_memory, entry.bytes_on_disk
                 )
+                if entry.replica:
+                    self.ledger.cache_replica_released(
+                        self.machine_id, entry.total_bytes
+                    )
             # Recompute from the entry map instead of subtracting: repeated
             # float subtraction drifted the counter away from the true sum
             # (the old `< 1e-6` snap-to-zero papered over it only near 0).

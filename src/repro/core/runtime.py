@@ -42,9 +42,22 @@ from .failure import detection_delay, plan_recovery
 from .graphlet import GraphletGraph
 from .metrics import JobMetrics, TaskTiming
 from .policies import ExecutionPolicy, FailureRecovery, LaunchModel, SubmissionOrder
-from .scheduler import Grant, ReqItem, ResourceScheduler, pick_locality_machines
+from .scheduler import (
+    Grant,
+    ReqItem,
+    ResourceScheduler,
+    pick_locality_machines,
+    pick_replica_machines,
+)
 from .shadow import ShadowController
-from .shuffle import ShuffleCostModel, ShuffleScheme, resolve_scheme
+from .shuffle import (
+    ModeDecision,
+    ShuffleCostModel,
+    ShuffleModeController,
+    ShuffleScheme,
+    plan_partition_merge,
+    resolve_scheme,
+)
 
 _EPS = 1e-9
 
@@ -252,6 +265,19 @@ class SwiftRuntime:
         self.admin = SwiftAdmin(self.config.admin, cluster.n_machines)
         self.scheduler = ResourceScheduler(cluster)
         self.shuffle_model = ShuffleCostModel(self.config, cluster.network, cluster.disk)
+        #: Per-edge adaptive mode switching (shuffle v2): observes realized
+        #: cache pressure and connection-setup cost and re-resolves the
+        #: scheme for stages that have not started yet.  Decisions are
+        #: memoized per (job, edge) so the producer-side store and the
+        #: consumer-side cost computation always agree.
+        self.mode_controller = ShuffleModeController(self.config.shuffle)
+        self._edge_mode_decisions: dict[tuple[str, str], ModeDecision] = {}
+        #: Structured record of every shuffle-loss recovery action —
+        #: ``{"job_id", "edge_key", "machine_id", "survivors", "action"}``
+        #: with action ``"failover"`` (replica served the share, no rerun)
+        #: or ``"rerun"`` (share unrecoverable, producer re-executed).  The
+        #: ``bounded-shuffle-recovery`` chaos invariant audits this log.
+        self.shuffle_recovery_log: list[dict] = []
         self.failure_plan = failure_plan or FailurePlan()
         #: Non-failure job duration used to resolve ``at_fraction`` failures;
         #: either one global value or a per-job mapping (as Fig. 15 needs,
@@ -264,8 +290,12 @@ class SwiftRuntime:
         #: Extra data-availability delay per (job_id, edge key) caused by
         #: Cache Worker LRU spills on the producer side.
         self._edge_extra_delay: dict[tuple[str, str], float] = {}
-        #: Machines whose Cache Workers hold data for a (job_id, edge key).
-        self._edge_cw_machines: dict[tuple[str, str], list[int]] = {}
+        #: Replica groups of machines whose Cache Workers hold data for a
+        #: (job_id, edge key).  Each group holds one producer machine's share
+        #: redundantly: ``groups[i][0]`` is the primary, later members are
+        #: replicas (``ShuffleConfig.replication_factor``).  A share survives
+        #: a Cache Worker loss iff its group keeps at least one live holder.
+        self._edge_cw_machines: dict[tuple[str, str], list[list[int]]] = {}
         #: All machines with Cache Worker state per job (for fast release).
         self._job_cw_machines: dict[str, set[int]] = {}
         #: (start, end) executor-busy intervals for utilization series.
@@ -300,6 +330,7 @@ class SwiftRuntime:
                 machine.cache_worker = CacheWorker(
                     machine.machine_id, self.config.cache_worker, cluster.disk
                 )
+            machine.cache_worker.tracer = self.tracer
         #: Resource-accounting ledger (:mod:`repro.audit`); ``None`` keeps
         #: every hook site on a single ``is not None`` check.  Pass a
         #: pre-built ``ledger`` to share one across runtimes (chaos does),
@@ -672,11 +703,48 @@ class SwiftRuntime:
             return False
         return self.policy.pipelined_execution
 
+    def _cache_utilization(self) -> float:
+        """Mean in-memory utilization of the live Cache Workers (0..1)."""
+        used = capacity = 0.0
+        for machine in self.cluster.alive_machines():
+            worker = machine.cache_worker
+            if worker is None:
+                continue
+            used += worker.memory_used
+            capacity += worker.config.memory_capacity
+        return used / capacity if capacity > 0 else 0.0
+
     def _edge_scheme(self, job_run: JobRun, edge: Edge, cross_unit: bool) -> ShuffleScheme:
         requested = (
             self.policy.effective_cross_unit_shuffle() if cross_unit else self.policy.shuffle
         )
-        return resolve_scheme(requested, job_run.dag.edge_size(edge), self.config.shuffle)
+        if not cross_unit:
+            return resolve_scheme(requested, job_run.dag.edge_size(edge), self.config.shuffle)
+        # Cross-unit edges route through Cache Workers, so their scheme is
+        # re-resolved against realized cluster state the first time anybody
+        # needs it (i.e. when the earliest adjacent stage prepares), then
+        # pinned: producer store and consumer costing must agree.
+        dkey = (job_run.job.job_id, f"{edge.src}->{edge.dst}")
+        decision = self._edge_mode_decisions.get(dkey)
+        if decision is None:
+            decision = self.mode_controller.resolve(
+                requested,
+                job_run.dag.edge_size(edge),
+                cache_utilization=self._cache_utilization(),
+                setup_latency=self.cluster.network.connection_setup_time(),
+            )
+            self._edge_mode_decisions[dkey] = decision
+            if decision.switched:
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        Category.SHUFFLE, "shuffle.mode_switch", self.sim.now,
+                        job_run.job.job_id, scope=dkey[1],
+                        scheme=decision.scheme.value,
+                        static_scheme=decision.static_scheme.value,
+                        reason=decision.reason,
+                    )
+                    self.tracer.count("shuffle_mode_switches")
+        return decision.scheme
 
     def _prepare_stage(self, sr: StageRun) -> None:
         """Compute stage-level costs and input-availability constants."""
@@ -698,30 +766,54 @@ class SwiftRuntime:
         total_conns = 0
         in_edges = dag.in_edges(sr.name)
         sr.has_inputs = bool(in_edges) or stage.scan_bytes_per_task > 0
+        edge_infos: list[tuple[Edge, StageRun, bool, ShuffleScheme, int]] = []
+        merge_candidates: list[tuple[str, float, int]] = []
         for edge in in_edges:
             producer_sr = job_run.stage_runs[edge.src]
             cross = producer_sr.unit_id != sr.unit_id
             scheme = self._edge_scheme(job_run, edge, cross)
             m = dag.stage(edge.src).task_count
+            edge_infos.append((edge, producer_sr, cross, scheme, m))
+            if (
+                cross
+                and scheme is ShuffleScheme.DIRECT
+                and not self._edge_streams(job_run, edge, sr)
+            ):
+                merge_candidates.append(
+                    (f"{edge.src}->{edge.dst}", dag.edge_bytes(edge), m)
+                )
+        # Small-partition storms: many tiny direct cross-unit edges are
+        # collapsed into one push-based merged transfer (FuxiShuffle
+        # direction) — one aggregated remote push instead of M_i x N
+        # per-edge connection meshes.
+        merged, _ = plan_partition_merge(
+            merge_candidates, stage.task_count, self.config.shuffle
+        )
+        merged_keys = frozenset(merged.edges) if merged is not None else frozenset()
+        for edge, producer_sr, cross, scheme, m in edge_infos:
             n = stage.task_count
             y = self._effective_machines(m, n)
-            cost = self.shuffle_model.edge_cost(
-                scheme, dag.edge_bytes(edge), m, n, y,
-                barrier=not self._edge_streams(job_run, edge, sr),
-            )
-            read_cost += cost.read_per_task
-            total_conns += cost.connections
             edge_key = f"{edge.src}->{edge.dst}"
-            job_run.metrics.shuffle_schemes[edge_key] = cost.scheme.value
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    Category.SHUFFLE, "shuffle.scheme", self.sim.now,
-                    job_run.job.job_id, scope=edge_key,
-                    scheme=cost.scheme.value, size=m * n,
-                    bytes=dag.edge_bytes(edge), cross_unit=cross,
-                    connections=cost.connections,
+            if edge_key in merged_keys:
+                # Costed once below, as part of the merged transfer.
+                job_run.metrics.shuffle_schemes[edge_key] = "merged"
+            else:
+                cost = self.shuffle_model.edge_cost(
+                    scheme, dag.edge_bytes(edge), m, n, y,
+                    barrier=not self._edge_streams(job_run, edge, sr),
                 )
-                self.tracer.count(f"shuffle_edges_{cost.scheme.value}")
+                read_cost += cost.read_per_task
+                total_conns += cost.connections
+                job_run.metrics.shuffle_schemes[edge_key] = cost.scheme.value
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        Category.SHUFFLE, "shuffle.scheme", self.sim.now,
+                        job_run.job.job_id, scope=edge_key,
+                        scheme=cost.scheme.value, size=m * n,
+                        bytes=dag.edge_bytes(edge), cross_unit=cross,
+                        connections=cost.connections,
+                    )
+                    self.tracer.count(f"shuffle_edges_{cost.scheme.value}")
             if self._edge_streams(job_run, edge, sr):
                 pipeline_floor = max(pipeline_floor, producer_sr.finish_estimate)
                 pipeline_first = max(pipeline_first, producer_sr.first_output)
@@ -730,9 +822,25 @@ class SwiftRuntime:
                 if cross and scheme in (ShuffleScheme.LOCAL, ShuffleScheme.REMOTE):
                     avail += self._cache_worker_read_delay(job_run, edge, n)
                     avail += self._edge_extra_delay.get(
-                        (job_run.job.job_id, f"{edge.src}->{edge.dst}"), 0.0
+                        (job_run.job.job_id, edge_key), 0.0
                     )
                 barrier_avail = max(barrier_avail, avail)
+        if merged is not None:
+            y = self._effective_machines(merged.m, merged.n)
+            cost = self.shuffle_model.edge_cost(
+                ShuffleScheme.REMOTE, merged.total_bytes,
+                merged.m, merged.n, y, barrier=True,
+            )
+            read_cost += cost.read_per_task
+            total_conns += cost.connections
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    Category.SHUFFLE, "shuffle.merge", self.sim.now,
+                    job_run.job.job_id, scope=sr.name,
+                    edges=len(merged.edges), bytes=merged.total_bytes,
+                    m=merged.m, n=merged.n, connections=cost.connections,
+                )
+                self.tracer.count("shuffle_merged_edges", len(merged.edges))
         sr.read_cost = read_cost
         sr.barrier_avail = barrier_avail
         sr.pipeline_floor = pipeline_floor
@@ -767,15 +875,22 @@ class SwiftRuntime:
         return max(1, min(self.cluster.n_machines, math.ceil(max(m, n) / per_machine)))
 
     def _cache_worker_read_delay(self, job_run: JobRun, edge: Edge, n_consumers: int) -> float:
-        """Extra read delay when a cross-unit edge's data was spilled."""
+        """Extra read delay when a cross-unit edge's data was spilled.
+
+        Each replica group is read through its first member still holding
+        the entry — the primary while it lives, a replica after a failover.
+        """
         delay = 0.0
         key = f"{edge.src}->{edge.dst}"
-        machine_ids = self._edge_cw_machines.get((job_run.job.job_id, key), ())
-        for machine_id in machine_ids:
-            worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
-            if worker is None:
-                continue
-            delay = max(delay, worker.read(job_run.job.job_id, key, self.sim.now))
+        job_id = job_run.job.job_id
+        groups = self._edge_cw_machines.get((job_id, key), ())
+        for group in groups:
+            for machine_id in group:
+                worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
+                if worker is None or worker.entry(job_id, key) is None:
+                    continue
+                delay = max(delay, worker.read(job_id, key, self.sim.now))
+                break
         return delay
 
     def _work_seconds(self, sr: StageRun) -> float:
@@ -1183,36 +1298,50 @@ class SwiftRuntime:
             m = dag.stage(edge.src).task_count
             n = dag.stage(edge.dst).task_count
             y = self._effective_machines(m, n)
-            machines = (self.cluster.schedulable_machines() or self.cluster.alive_machines())[:y]
+            candidates = self.cluster.schedulable_machines() or self.cluster.alive_machines()
+            machines = candidates[:y]
             share = dag.edge_bytes(edge) / max(1, len(machines))
             consumers_per_machine = max(
                 1, math.ceil(dag.stage(edge.dst).task_count / max(1, len(machines)))
             )
-            spill_delay = 0.0
-            job_id = job_run.job.job_id
-            self._edge_cw_machines[(job_id, key)] = [mm.machine_id for mm in machines]
-            self._job_cw_machines.setdefault(job_id, set()).update(
-                mm.machine_id for mm in machines
+            # Replicate each primary's share onto the least-loaded other
+            # Cache Workers; a lost primary then fails over to a replica
+            # instead of re-running the producer.
+            groups = pick_replica_machines(
+                machines, candidates, self.config.shuffle.replication_factor
             )
-            for machine in machines:
-                worker: CacheWorker = machine.cache_worker  # type: ignore[assignment]
-                spill_delay = max(
-                    spill_delay,
-                    worker.write(
-                        job_id,
-                        key,
-                        share,
-                        pending_consumers=consumers_per_machine,
-                        now=self.sim.now,
-                    ),
-                )
+            spill_delay = 0.0
+            n_replicas = 0
+            job_id = job_run.job.job_id
+            self._edge_cw_machines[(job_id, key)] = [
+                [mm.machine_id for mm in group] for group in groups
+            ]
+            self._job_cw_machines.setdefault(job_id, set()).update(
+                mm.machine_id for group in groups for mm in group
+            )
+            for group in groups:
+                for rank, machine in enumerate(group):
+                    worker: CacheWorker = machine.cache_worker  # type: ignore[assignment]
+                    spill_delay = max(
+                        spill_delay,
+                        worker.write(
+                            job_id,
+                            key,
+                            share,
+                            pending_consumers=consumers_per_machine,
+                            now=self.sim.now,
+                            replica=rank > 0,
+                        ),
+                    )
+                    n_replicas += rank > 0
             if spill_delay > 0:
                 self._edge_extra_delay[(job_id, key)] = spill_delay
             if self.tracer.enabled:
                 self.tracer.instant(
                     Category.CACHE, "cache.store", self.sim.now, job_id,
                     scope=key, bytes=dag.edge_bytes(edge),
-                    machines=len(machines), spill_delay=spill_delay,
+                    machines=len(machines), replicas=n_replicas,
+                    spill_delay=spill_delay,
                 )
                 if spill_delay > 0:
                     self.tracer.instant(
@@ -1220,12 +1349,13 @@ class SwiftRuntime:
                         scope=key, delay=spill_delay,
                     )
                     self.tracer.count("cache_spill_edges")
-                for machine in machines:
-                    worker = machine.cache_worker
-                    if worker is not None:
-                        self.tracer.gauge_max(
-                            "cache_worker_mem_used_bytes", worker.memory_used
-                        )
+                for group in groups:
+                    for machine in group:
+                        worker = machine.cache_worker
+                        if worker is not None:
+                            self.tracer.gauge_max(
+                                "cache_worker_mem_used_bytes", worker.memory_used
+                            )
 
     def _consume_cross_unit_inputs(self, sr: StageRun) -> None:
         """Release Cache Worker entries this stage has fully consumed."""
@@ -1235,16 +1365,17 @@ class SwiftRuntime:
             if producer.unit_id == sr.unit_id:
                 continue
             key = f"{edge.src}->{edge.dst}"
-            machine_ids = self._edge_cw_machines.pop(
+            groups = self._edge_cw_machines.pop(
                 (job_run.job.job_id, key), ()
             )
-            for machine_id in machine_ids:
-                worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
-                if worker is not None:
-                    entry = worker.entry(job_run.job.job_id, key)
-                    if entry is not None:
-                        entry.pending_consumers = 1
-                        worker.consume(job_run.job.job_id, key)
+            for group in groups:
+                for machine_id in group:
+                    worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
+                    if worker is not None:
+                        entry = worker.entry(job_run.job.job_id, key)
+                        if entry is not None:
+                            entry.pending_consumers = 1
+                            worker.consume(job_run.job.job_id, key)
 
     def _on_job_completed(self, job_run: JobRun) -> None:
         job_run.done = True
@@ -1471,17 +1602,29 @@ class SwiftRuntime:
         # Returned capacity may satisfy queued gang requests.
         self._pump_scheduler()
 
+    def _holds_entry(self, machine_id: int, job_id: str, edge_key: str) -> bool:
+        """True when ``machine_id``'s Cache Worker still serves the entry."""
+        machine = self.cluster.machines[machine_id]
+        worker = machine.cache_worker
+        return (
+            machine.alive
+            and worker is not None
+            and worker.entry(job_id, edge_key) is not None
+        )
+
     def _on_cache_worker_lost(self, machine, job_id: str) -> None:
         """A Cache Worker dies, losing all shuffle data it held.
 
-        Producers of edges whose consumers have not finished reading must
-        re-generate and re-write the data (the OUTPUT_FAILURE path of
-        Section IV-B, applied per lost entry).
+        Shuffle v2 first tries failover: if every replica group of a lost
+        edge keeps at least one live holder, consumers simply read from the
+        surviving replicas and no recompute happens.  Only when a share is
+        unrecoverable does the producer re-generate and re-write the data
+        (the OUTPUT_FAILURE path of Section IV-B, applied per lost entry).
         """
         worker: Optional[CacheWorker] = machine.cache_worker
         if worker is None:
             return
-        lost = worker.drop_all()
+        lost = worker.drop_all(now=self.sim.now, reason="cache_worker_loss")
         self.events.record(
             self.sim.now, EventKind.CACHE_WORKER_LOST, job_id,
             f"machine {machine.machine_id} ({len(lost)} entries)",
@@ -1502,11 +1645,48 @@ class SwiftRuntime:
             if producer_sr is None or consumer_sr is None or consumer_sr.completed:
                 continue
             # The dead worker can no longer serve reads for this edge.
-            machines = self._edge_cw_machines.get((entry_job_id, edge_key))
-            if machines and machine.machine_id in machines:
-                machines.remove(machine.machine_id)
+            groups = self._edge_cw_machines.get((entry_job_id, edge_key))
+            share_lost = groups is None
+            survivors = 0
+            if groups is not None:
+                for group in groups:
+                    if machine.machine_id not in group:
+                        continue
+                    group.remove(machine.machine_id)
+                    holders = sum(
+                        1 for mid in group
+                        if self._holds_entry(mid, entry_job_id, edge_key)
+                    )
+                    survivors += holders
+                    if holders == 0:
+                        share_lost = True
+            if not share_lost:
+                # Failover: surviving replicas hold every share, so the
+                # consumers' reads are redirected and nothing re-runs.
+                self.shuffle_recovery_log.append({
+                    "job_id": entry_job_id,
+                    "edge_key": edge_key,
+                    "machine_id": machine.machine_id,
+                    "survivors": survivors,
+                    "action": "failover",
+                })
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        Category.RECOVERY, "shuffle.failover", self.sim.now,
+                        entry_job_id, scope=edge_key,
+                        machine=machine.machine_id, survivors=survivors,
+                    )
+                    self.tracer.count("shuffle_failover_reads")
+                continue
             # Re-generate: recover one finished producer task, which re-runs
             # it and propagates the delay to the waiting consumers.
+            self.shuffle_recovery_log.append({
+                "job_id": entry_job_id,
+                "edge_key": edge_key,
+                "machine_id": machine.machine_id,
+                "survivors": survivors,
+                "action": "rerun",
+            })
             victim = next(
                 (i for i in producer_sr.instances if i.state == TaskState.FINISHED),
                 None,
@@ -1550,10 +1730,15 @@ class SwiftRuntime:
         for machine_id in self._job_cw_machines.pop(job_id, ()):
             worker: CacheWorker = self.cluster.machines[machine_id].cache_worker  # type: ignore[assignment]
             if worker is not None:
-                worker.release_job(job_id)
+                worker.release_job(job_id, now=self.sim.now)
         stale = [k for k in self._edge_cw_machines if k[0] == job_id]
         for key in stale:
             del self._edge_cw_machines[key]
+        # A restarted attempt re-resolves its shuffle modes against the
+        # cluster state it actually sees.
+        stale_decisions = [k for k in self._edge_mode_decisions if k[0] == job_id]
+        for key in stale_decisions:
+            del self._edge_mode_decisions[key]
 
     def _release_job_resources(self, job_run: JobRun) -> None:
         self.scheduler.cancel_job(job_run.job.job_id)

@@ -268,6 +268,51 @@ class ResourceScheduler:
         return chosen
 
 
+def pick_replica_machines(
+    primaries: list[Machine],
+    candidates: list[Machine],
+    replication_factor: int,
+) -> list[list[Machine]]:
+    """Load-aware replica placement for Cache-Worker shuffle entries.
+
+    Each primary machine becomes a replica *group* of up to
+    ``replication_factor`` distinct machines holding the same shuffle
+    entry.  Replicas are drawn from ``candidates`` preferring machines
+    outside the primary set, then by lowest Cache Worker memory use
+    (machine id as the deterministic tiebreak), with a round-robin
+    assignment count so one idle machine does not absorb every group's
+    replica.  Groups degrade gracefully: with fewer than two candidate
+    machines the group is just its primary (v1 behaviour).
+    """
+    groups = [[p] for p in primaries]
+    if replication_factor <= 1:
+        return groups
+    pool = [m for m in candidates if m.cache_worker is not None]
+    if len(pool) < 2:
+        return groups
+    primary_ids = {p.machine_id for p in primaries}
+    assigned = {m.machine_id: 0 for m in pool}
+    for group in groups:
+        in_group = {group[0].machine_id}
+        while len(group) < replication_factor:
+            best = min(
+                (m for m in pool if m.machine_id not in in_group),
+                key=lambda m: (
+                    assigned[m.machine_id],
+                    m.machine_id in primary_ids,
+                    m.cache_worker.memory_used,  # type: ignore[union-attr]
+                    m.machine_id,
+                ),
+                default=None,
+            )
+            if best is None:
+                break
+            group.append(best)
+            in_group.add(best.machine_id)
+            assigned[best.machine_id] += 1
+    return groups
+
+
 def pick_locality_machines(
     cluster: Cluster, n_tasks: int, rng_choice: Callable[[list[Machine]], Machine] | None = None
 ) -> tuple[int, ...]:

@@ -58,6 +58,142 @@ def resolve_scheme(
     return requested
 
 
+@dataclass(frozen=True)
+class ModeDecision:
+    """One mode-controller resolution for a shuffle edge.
+
+    ``static_scheme`` is what the threshold rule alone would pick;
+    ``scheme`` is the controller's choice.  ``reason`` names the observed
+    pressure that justified a switch (empty when no switch happened).
+    """
+
+    scheme: ShuffleScheme
+    static_scheme: ShuffleScheme
+    reason: str = ""
+
+    @property
+    def switched(self) -> bool:
+        """True when the controller deviated from the static rule."""
+        return self.scheme is not self.static_scheme
+
+
+class ShuffleModeController:
+    """Mid-job shuffle-mode switching (the FuxiShuffle direction).
+
+    Schemes are resolved lazily, per edge, when the consumer stage is
+    prepared — so a controller consulted at that point re-resolves every
+    not-yet-started stage from *observed* state rather than static
+    estimates:
+
+    * **Cache Worker memory pressure** — when the workers backing a
+      cache-mediated edge are nearly full, a borderline edge (shuffle size
+      within ``switch_margin`` above ``direct_threshold``) is demoted to
+      Direct Shuffle, keeping its bytes out of memory that would spill.
+    * **Connection-setup cost** — when the observed handshake latency is
+      congested (>= ``setup_promote_latency``), a borderline Direct edge is
+      promoted to Remote Shuffle, trading M x N handshakes for M + N x Y.
+
+    Scheme choice affects only timing, never which tasks run or what they
+    produce, so switching is result-preserving by construction; the
+    differential tests assert it anyway.
+    """
+
+    def __init__(self, config: ShuffleConfig) -> None:
+        self.config = config
+        #: Total switches decided, for metrics/obs accounting.
+        self.switches = 0
+
+    def resolve(
+        self,
+        requested: ShuffleScheme,
+        edge_size: int,
+        cache_utilization: float = 0.0,
+        setup_latency: float = 0.0,
+    ) -> ModeDecision:
+        """Resolve one edge from the static rule plus live observations.
+
+        ``cache_utilization`` is the used fraction of the Cache Workers
+        that would hold this edge; ``setup_latency`` the currently observed
+        per-connection setup time.  Explicitly requested (non-ADAPTIVE)
+        schemes are never overridden.
+        """
+        static = resolve_scheme(requested, edge_size, self.config)
+        if not self.config.mode_switching or requested is not ShuffleScheme.ADAPTIVE:
+            return ModeDecision(static, static)
+        margin = self.config.switch_margin
+        if (
+            static in (ShuffleScheme.LOCAL, ShuffleScheme.REMOTE)
+            and cache_utilization >= self.config.pressure_demote_utilization
+            and edge_size <= self.config.direct_threshold * (1.0 + margin)
+        ):
+            self.switches += 1
+            return ModeDecision(ShuffleScheme.DIRECT, static, "cache-pressure")
+        if (
+            static is ShuffleScheme.DIRECT
+            and setup_latency >= self.config.setup_promote_latency
+            and edge_size >= self.config.direct_threshold * (1.0 - margin)
+        ):
+            self.switches += 1
+            return ModeDecision(ShuffleScheme.REMOTE, static, "setup-cost")
+        return ModeDecision(static, static)
+
+
+@dataclass(frozen=True)
+class MergedTransfer:
+    """Several tiny in-edges collapsed into one push-based transfer.
+
+    Small-partition storms — a consumer stage fed by many edges whose
+    partitions are each a few megabytes — pay one connection-setup and
+    read phase per edge under per-edge shuffling.  Push-based merging
+    sends all member partitions through a single merged transfer: the
+    costs (and connections) of one edge carrying the summed bytes of all
+    members, read once by each consumer task.
+    """
+
+    #: Edge keys folded into this transfer, in plan order.
+    edges: tuple[str, ...]
+    total_bytes: float
+    #: Combined producer task count of all member edges.
+    m: int
+    #: Consumer task count (all members feed the same stage).
+    n: int
+
+    @property
+    def size(self) -> int:
+        """Merged shuffle size (drives scheme selection)."""
+        return self.m * self.n
+
+
+def plan_partition_merge(
+    candidates: list[tuple[str, float, int]],
+    n_consumers: int,
+    config: ShuffleConfig,
+) -> tuple[MergedTransfer | None, list[str]]:
+    """Plan push-based merging for one consumer stage's cross-unit edges.
+
+    ``candidates`` lists the stage's cache-eligible in-edges as
+    ``(edge_key, total_bytes, producer_count)``.  Edges at or below
+    ``merge_max_bytes`` are merge-eligible; when at least
+    ``merge_min_edges`` of them exist they collapse into one
+    :class:`MergedTransfer`.  Returns the merged transfer (or ``None``)
+    plus the edge keys left to per-edge shuffling.
+    """
+    if n_consumers < 1:
+        raise ValueError("n_consumers must be >= 1")
+    tiny = [c for c in candidates if c[1] <= config.merge_max_bytes]
+    if len(tiny) < config.merge_min_edges:
+        return None, [key for key, _, _ in candidates]
+    tiny_keys = {key for key, _, _ in tiny}
+    merged = MergedTransfer(
+        edges=tuple(key for key, _, _ in tiny),
+        total_bytes=sum(b for _, b, _ in tiny),
+        m=sum(m for _, _, m in tiny),
+        n=n_consumers,
+    )
+    rest = [key for key, _, _ in candidates if key not in tiny_keys]
+    return merged, rest
+
+
 def connection_count(scheme: ShuffleScheme, m: int, n: int, y: int) -> int:
     """Worst-case TCP connection count for a shuffle of M producers and N
     consumers spread over Y machines (Section III-B formulas)."""

@@ -515,6 +515,115 @@ def run_service_benchmarks(
 
 
 # ----------------------------------------------------------------------
+# Shuffle v2 recovery benchmark (``--suite shuffle``)
+# ----------------------------------------------------------------------
+
+
+def _run_shuffle_loss(
+    replication_factor: int, m: int, n: int, machine_id: int, at_fraction: float
+) -> dict[str, float]:
+    """One variant: baseline makespan, then makespan under a single
+    injected Cache Worker loss.  All times are *simulated* seconds, so the
+    measurement is deterministic and host-independent."""
+    from ..sim.config import SimConfig
+    from ..sim.failures import FailureKind, FailurePlan, FailureSpec
+
+    config = SimConfig()
+    config.shuffle.replication_factor = replication_factor
+
+    baseline_rt = SwiftRuntime(Cluster.build(20, 16), swift_policy(), config=config)
+    baseline = baseline_rt.execute(terasort.terasort_job(m, n))
+    assert baseline.completed
+    baseline_makespan = baseline.metrics.finish_time
+
+    plan = FailurePlan().add(
+        FailureSpec(
+            kind=FailureKind.CACHE_WORKER_LOSS,
+            machine_id=machine_id,
+            at_fraction=at_fraction,
+        )
+    )
+    loss_rt = SwiftRuntime(
+        Cluster.build(20, 16),
+        swift_policy(),
+        config=config,
+        failure_plan=plan,
+        reference_duration=baseline_makespan,
+    )
+    result = loss_rt.execute(terasort.terasort_job(m, n))
+    assert result.completed
+    log = loss_rt.shuffle_recovery_log
+    return {
+        "baseline_makespan_s": baseline_makespan,
+        "loss_makespan_s": result.metrics.finish_time,
+        "recovery_s": result.metrics.finish_time - baseline_makespan,
+        "reruns": sum(1 for r in log if r["action"] == "rerun"),
+        "failovers": sum(1 for r in log if r["action"] == "failover"),
+    }
+
+
+#: Smallest recovery time credited to a variant; a perfect failover
+#: recovers in zero *simulated* seconds, and a ratio against exactly 0
+#: would be infinite (and unserializable as strict JSON).
+_RECOVERY_FLOOR_S = 1e-3
+
+
+def bench_shuffle_recovery(
+    quick: bool = False, m: int = 128, n: int = 128, at_fraction: float = 0.55
+) -> dict[str, float]:
+    """Recovery time under Cache Worker loss: shuffle v2 vs v1.
+
+    Both variants replay the same Terasort (its cross-unit edge is large
+    enough to resolve to Remote Shuffle, so the data lives in Cache
+    Workers) and lose the same Cache Worker at the same fraction of the
+    failure-free makespan.  **v1** (``replication_factor=1``) must
+    re-generate the lost shares through producer re-runs; **v2** (the
+    default factor 2) fails over to surviving replicas.  The
+    ``recovery_improvement`` ratio (v1 recovery time over v2's) is gated
+    strictly above 1.0 by ``--check``.  Simulated-time measurement: the
+    numbers are deterministic, so the usual relative tolerance only ever
+    trips on a real behaviour change.
+    """
+    machine_id = 0  # always a primary under the [:y] placement
+    v1 = _run_shuffle_loss(1, m, n, machine_id, at_fraction)
+    v2 = _run_shuffle_loss(2, m, n, machine_id, at_fraction)
+    # The gate is only meaningful if the injection really exercised both
+    # paths: v1 re-ran producers, v2 served every share from replicas.
+    assert v1["reruns"] > 0, "v1 run never hit the producer-rerun path"
+    assert v2["reruns"] == 0 and v2["failovers"] > 0, (
+        "v2 run did not fail over to replicas"
+    )
+    v1_recovery = max(v1["recovery_s"], _RECOVERY_FLOOR_S)
+    v2_recovery = max(v2["recovery_s"], _RECOVERY_FLOOR_S)
+    return {
+        "job": f"terasort_{m}x{n}",
+        "machine_lost": machine_id,
+        "at_fraction": at_fraction,
+        "baseline_makespan_s": v2["baseline_makespan_s"],
+        "v1_makespan_s": v1["loss_makespan_s"],
+        "v2_makespan_s": v2["loss_makespan_s"],
+        "v1_recovery_s": v1["recovery_s"],
+        "v2_recovery_s": v2["recovery_s"],
+        "v1_reruns": v1["reruns"],
+        "v2_failovers": v2["failovers"],
+        "recovery_improvement": v1_recovery / v2_recovery,
+    }
+
+
+def run_shuffle_benchmarks(
+    quick: bool = False, echo: Optional[Callable[[str], None]] = None
+) -> dict[str, object]:
+    """Run only the shuffle recovery scenario (``--suite shuffle``).
+
+    Returns a payload fragment with just the ``shuffle`` entry; writers
+    merge it into the committed BENCH_simulator.json.
+    """
+    if echo:
+        echo("shuffle v2 vs v1 recovery under cache worker loss ...")
+    return {"shuffle": bench_shuffle_recovery(quick=quick)}
+
+
+# ----------------------------------------------------------------------
 # SQL engine benchmarks (BENCH_sql.json)
 # ----------------------------------------------------------------------
 
@@ -719,12 +828,21 @@ CHECK_METRICS: dict[str, tuple[str, ...]] = {
     # gateway is free); the absolute <10% overhead budget is enforced
     # separately below.
     "service": ("direct_vs_gateway",),
+    # Simulated (deterministic) recovery-time ratio of shuffle v1 over v2
+    # under an injected Cache Worker loss; the absolute >1.0 floor is
+    # enforced separately below.
+    "shuffle": ("recovery_improvement",),
 }
 
 #: Hard ceiling on ``service.overhead_frac`` — the gateway must cost
 #: less than 10% wall-clock over direct ``submit_all`` (ISSUE 7
 #: acceptance gate), regardless of what the committed payload recorded.
 SERVICE_OVERHEAD_CEILING = 0.10
+
+#: Hard floor on ``shuffle.recovery_improvement`` — v2 (replicated
+#: failover) must recover strictly faster than v1 (producer reruns)
+#: under the same Cache Worker loss, regardless of the committed value.
+SHUFFLE_RECOVERY_FLOOR = 1.0
 
 
 def compare_payloads(
@@ -782,6 +900,15 @@ def compare_payloads(
             problems.append(
                 f"service.overhead_frac: fresh {overhead:.1%} >= "
                 f"{SERVICE_OVERHEAD_CEILING:.0%} gateway overhead budget"
+            )
+    shuffle = fresh.get("shuffle")
+    if isinstance(shuffle, dict) and "recovery_improvement" in shuffle:
+        improvement = float(shuffle["recovery_improvement"])
+        if improvement <= SHUFFLE_RECOVERY_FLOOR:
+            problems.append(
+                f"shuffle.recovery_improvement: fresh {improvement:.2f} <= "
+                f"{SHUFFLE_RECOVERY_FLOOR:.1f} — replicated failover must "
+                "beat producer-rerun recovery"
             )
     return problems
 
@@ -851,6 +978,8 @@ def run_benchmarks(
     payload["scale"] = bench_scale(quick=quick)
     say("service gateway vs direct submit_all ...")
     payload["service"] = bench_service(quick=quick)
+    say("shuffle v2 vs v1 recovery under cache worker loss ...")
+    payload["shuffle"] = bench_shuffle_recovery(quick=quick)
     resample_kernels()
     return payload
 

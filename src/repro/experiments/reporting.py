@@ -134,6 +134,12 @@ def _sections(quick: bool) -> list[ReportSection]:
             "(beyond the paper) degradation under increasing failure rates",
             lambda: ablations.failure_rate_sweep(n_jobs=80 if quick else 120),
         ),
+        ReportSection(
+            "shuffle_recovery", "Shuffle v2 — recovery under Cache Worker loss",
+            "(beyond the paper; the FuxiShuffle direction) replica failover "
+            "serves lost shuffle shares without producer re-runs",
+            lambda: _shuffle_recovery_summary(quick=quick),
+        ),
     ]
 
 
@@ -149,6 +155,43 @@ def _fig10_summary(n_jobs: int) -> ExperimentResult:
             makespan_s=spans[name],
             speedup_over_jetscope=spans["jetscope"] / spans[name],
         )
+    return result
+
+
+def _shuffle_recovery_summary(quick: bool) -> ExperimentResult:
+    """Shuffle v2 vs v1 recovery time under one injected Cache Worker loss.
+
+    Reuses the gated bench scenario (``bench --suite shuffle``): both
+    variants replay the same Terasort and lose the same Cache Worker at the
+    same fraction of the failure-free makespan; only the replication factor
+    differs.  Times are *simulated* seconds, so the rows are deterministic.
+    """
+    from .bench import bench_shuffle_recovery
+
+    size = 110 if quick else 128
+    payload = bench_shuffle_recovery(quick=quick, m=size, n=size)
+    result = ExperimentResult(
+        name="shuffle_v2_recovery",
+        notes=(
+            f"same {payload['job']} replay, same Cache Worker lost at "
+            f"{payload['at_fraction']:.0%} of the failure-free makespan "
+            f"({payload['baseline_makespan_s']:.1f}s simulated); v1 must "
+            "re-run producers, v2 fails over to surviving replicas — "
+            "gated by `python -m repro bench --suite shuffle --check`"
+        ),
+    )
+    result.add(
+        variant="v1 (replication=1)",
+        makespan_s=payload["v1_makespan_s"],
+        recovery_s=payload["v1_recovery_s"],
+        recovery_path=f"{payload['v1_reruns']} producer re-run(s)",
+    )
+    result.add(
+        variant="v2 (replication=2)",
+        makespan_s=payload["v2_makespan_s"],
+        recovery_s=payload["v2_recovery_s"],
+        recovery_path=f"{payload['v2_failovers']} replica failover read(s)",
+    )
     return result
 
 
@@ -228,8 +271,14 @@ def build_report(quick: bool = False, echo: Callable[[str], None] | None = None)
         "shrunk to a minimal repro and saved as JSON; replay it exactly "
         "with `python -m repro chaos --replay chaos_repros/<file>.json` "
         "(campaigns are fully deterministic, so the replay reproduces the "
-        "violation bit for bit).  See README's \"Fault tolerance & "
-        "chaos\" section.",
+        "violation bit for bit).  Named profiles target the shuffle v2 "
+        "resilience paths — `--profile cache-worker-loss-during-shuffle` "
+        "(replication failover under Cache Worker losses), "
+        "`mode-switch-under-crash`, and `replica-placement-skew` — with a "
+        "`bounded-shuffle-recovery` invariant asserting every recovery "
+        "decision was justified (no producer re-run while replicas "
+        "survived, no failover without a survivor).  See README's "
+        "\"Fault tolerance & chaos\" and \"Shuffle v2\" sections.",
         "",
     ]
     for section in sections:

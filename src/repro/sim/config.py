@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 
 GiB = 1024 ** 3
@@ -126,20 +127,75 @@ class CacheWorkerConfig:
 
 @dataclass
 class ShuffleConfig:
-    """Adaptive shuffle selection thresholds (Section III-B).
+    """Adaptive shuffle selection thresholds and v2 resilience knobs.
 
     The shuffle *size* is the number of edges between all source-stage tasks
     and sink-stage tasks, i.e. M x N.  The production thresholds reported in
-    the paper are 10,000 and 90,000.
+    the paper are 10,000 and 90,000 (Section III-B).  The v2 fields follow
+    the FuxiShuffle direction: mid-job mode switching from observed memory
+    and connection pressure, Cache Worker replication so a single worker
+    loss fails over instead of re-running producers, and push-based merging
+    of small-partition storms.
     """
 
     direct_threshold: int = 10_000
     local_threshold: int = 90_000
+    #: Copies of every cache-mediated shuffle entry (1 = v1 behaviour: a
+    #: single Cache Worker loss forces producer re-runs; 2 = one surviving
+    #: replica per entry serves failover reads).
+    replication_factor: int = 2
+    #: Allow the per-edge mode controller to re-resolve schemes for
+    #: not-yet-started stages from observed pressure.  Scheme choice only
+    #: affects timing, never results (differentially tested).
+    mode_switching: bool = True
+    #: Cache Worker memory utilization above which the controller demotes
+    #: borderline cache-mediated edges to Direct Shuffle.
+    pressure_demote_utilization: float = 0.85
+    #: Connection-setup latency (seconds) above which the controller
+    #: promotes borderline Direct edges to a cache-mediated scheme.
+    setup_promote_latency: float = 0.05
+    #: How far past a threshold (as a fraction of it) an edge still counts
+    #: as "borderline" for a pressure-driven switch.
+    switch_margin: float = 0.5
+    #: Minimum number of tiny cross-unit in-edges before push-based
+    #: partition merging collapses them into one merged transfer.
+    merge_min_edges: int = 4
+    #: An in-edge is "tiny" (merge-eligible) when its total bytes are at
+    #: or below this bound.
+    merge_max_bytes: float = 8 * MiB
 
     def validate(self) -> None:
         """Raise ``ValueError`` on out-of-range values."""
         if not 0 < self.direct_threshold < self.local_threshold:
             raise ValueError("thresholds must satisfy 0 < direct < local")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if not 0 < self.pressure_demote_utilization <= 1:
+            raise ValueError("pressure_demote_utilization must be in (0, 1]")
+        if self.setup_promote_latency <= 0:
+            raise ValueError("setup_promote_latency must be positive")
+        if self.switch_margin < 0:
+            raise ValueError("switch_margin must be non-negative")
+        if self.merge_min_edges < 2:
+            raise ValueError("merge_min_edges must be >= 2")
+        if self.merge_max_bytes <= 0:
+            raise ValueError("merge_max_bytes must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form of every knob (round-trips via
+        :meth:`from_dict`); how deployments pin non-default thresholds."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ShuffleConfig":
+        """Rebuild a validated config from :meth:`to_dict` output."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown shuffle config field(s): {unknown}")
+        out = cls(**dict(payload))
+        out.validate()
+        return out
 
 
 @dataclass

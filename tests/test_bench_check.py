@@ -126,3 +126,22 @@ def test_service_ratio_rides_relative_gate():
     problems = compare_payloads(committed, fresh)
     assert len(problems) == 1
     assert "service.direct_vs_gateway" in problems[0]
+
+
+def test_shuffle_recovery_floor_is_absolute():
+    # v2 failover must beat v1 producer rerun on the fresh payload alone,
+    # regardless of what (if anything) the committed file holds.
+    fresh_bad = {"shuffle": {"recovery_improvement": 0.8}}
+    problems = compare_payloads({}, fresh_bad)
+    assert len(problems) == 1
+    assert "failover" in problems[0]
+    fresh_good = {"shuffle": {"recovery_improvement": 50.0}}
+    assert compare_payloads({}, fresh_good) == []
+
+
+def test_shuffle_improvement_rides_relative_gate():
+    committed = {"shuffle": {"recovery_improvement": 100.0}}
+    fresh = {"shuffle": {"recovery_improvement": 10.0}}
+    problems = compare_payloads(committed, fresh)
+    assert len(problems) == 1
+    assert "shuffle.recovery_improvement" in problems[0]

@@ -116,6 +116,78 @@ def test_mutation_broken_recovery_caught_and_shrunk(tmp_path, monkeypatch):
     assert records
 
 
+SHUFFLE_PROFILES = (
+    "cache-worker-loss-during-shuffle",
+    "mode-switch-under-crash",
+    "replica-placement-skew",
+)
+
+
+def test_shuffle_v2_profiles_registered():
+    from repro.sim.failures import FailureKind
+
+    for name in SHUFFLE_PROFILES:
+        profile = PROFILES[name]
+        assert profile.name == name
+        assert generate_campaign(0, "terasort", profile, 8).events
+    # The failover profile is dominated by Cache Worker losses.
+    weights = dict(PROFILES["cache-worker-loss-during-shuffle"].kind_weights)
+    assert max(weights, key=weights.get) == FailureKind.CACHE_WORKER_LOSS.value
+
+
+@pytest.mark.parametrize("profile", SHUFFLE_PROFILES)
+def test_shuffle_v2_profiles_pass_invariants(profile):
+    report = ChaosEngine("terasort", profile).sweep(range(3), shrink=False)
+    assert report.ok, report.format_summary()
+    assert report.passed == 3
+
+
+def _runtime_with_log(records):
+    from repro.core.policies import swift_policy
+    from repro.core.runtime import SwiftRuntime
+    from repro.sim.cluster import Cluster
+
+    runtime = SwiftRuntime(Cluster.build(2, 4), swift_policy())
+    runtime.shuffle_recovery_log.extend(records)
+    return runtime
+
+
+def _campaign(events):
+    return Campaign(seed=0, workload="terasort", profile="light",
+                    events=events)
+
+
+def test_bounded_shuffle_recovery_invariant():
+    from repro.chaos.campaign import ChaosEvent
+    from repro.chaos.invariants import check_bounded_shuffle_recovery
+    from repro.sim.failures import FailureKind
+
+    loss = ChaosEvent(kind=FailureKind.CACHE_WORKER_LOSS.value,
+                      at_fraction=0.5, machine_id=0)
+    failover = {"job_id": "j", "edge_key": "a->b", "machine_id": 0,
+                "survivors": 1, "action": "failover"}
+    rerun = {"job_id": "j", "edge_key": "a->b", "machine_id": 0,
+             "survivors": 0, "action": "rerun"}
+    # Legitimate decisions pass.
+    ok = check_bounded_shuffle_recovery(
+        _campaign([loss]), _runtime_with_log([failover, rerun]))
+    assert ok == []
+    # A rerun despite surviving replicas is wasted recovery.
+    bad_rerun = dict(rerun, survivors=1)
+    out = check_bounded_shuffle_recovery(
+        _campaign([loss]), _runtime_with_log([bad_rerun]))
+    assert [v.invariant for v in out] == ["bounded-shuffle-recovery"]
+    # A failover with no survivor cannot have served the share.
+    bad_failover = dict(failover, survivors=0)
+    out = check_bounded_shuffle_recovery(
+        _campaign([loss]), _runtime_with_log([bad_failover]))
+    assert len(out) == 1
+    # Shuffle recovery without any injected Cache Worker loss is spurious.
+    out = check_bounded_shuffle_recovery(
+        _campaign([]), _runtime_with_log([failover]))
+    assert len(out) == 1
+
+
 def test_cli_chaos_sweep(tmp_path, capsys):
     from repro.cli import main
 

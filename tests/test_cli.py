@@ -207,6 +207,48 @@ def test_experiment_json_output(capsys):
 # repro serve
 # ----------------------------------------------------------------------
 
+def test_bench_parser_accepts_shuffle_suite():
+    args = build_parser().parse_args(["bench", "--suite", "shuffle"])
+    assert args.suite == "shuffle"
+
+
+def test_bench_shuffle_merges_entry(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.cli import _cmd_bench
+    from repro.experiments import bench
+
+    path = tmp_path / "BENCH_simulator.json"
+    path.write_text(json.dumps({"terasort": {"speedup": 2.0}}))
+    fake = {"shuffle": {
+        "job": "terasort_8x8", "machine_lost": 0, "at_fraction": 0.5,
+        "v1_recovery_s": 5.0, "v2_recovery_s": 0.0, "v2_failovers": 1,
+        "recovery_improvement": 5000.0,
+    }}
+    monkeypatch.setattr(
+        bench, "run_shuffle_benchmarks", lambda quick, echo: fake
+    )
+    args = build_parser().parse_args([
+        "bench", "--suite", "shuffle", "--out", str(path),
+    ])
+    assert _cmd_bench(args) == 0
+    assert "shuffle recovery" in capsys.readouterr().out
+    merged = json.loads(path.read_text())
+    # Merged alongside, not clobbering, the existing scenarios.
+    assert merged["terasort"] == {"speedup": 2.0}
+    assert merged["shuffle"]["recovery_improvement"] == 5000.0
+
+
+def test_chaos_parser_accepts_named_profiles():
+    from repro.chaos import PROFILES
+
+    for name in PROFILES:
+        args = build_parser().parse_args(["chaos", "--profile", name])
+        assert args.profile == name
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--profile", "nope"])
+
+
 def test_serve_parser_defaults():
     args = build_parser().parse_args(["serve"])
     assert args.trace == "paper"

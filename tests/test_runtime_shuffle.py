@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pytest
 
 from repro.core.cache_worker import CacheWorker
 from repro.core.policies import swift_policy
@@ -9,6 +10,7 @@ from repro.core.runtime import SwiftRuntime
 from repro.core.shuffle import ShuffleScheme
 from repro.sim.cluster import Cluster
 from repro.sim.config import SimConfig
+from repro.sim.failures import FailureKind, FailurePlan, FailureSpec
 
 from conftest import as_job, chain_dag, make_stage
 from repro.core.dag import Edge, JobDAG
@@ -92,3 +94,123 @@ def test_pipeline_edges_have_no_barrier_wait():
     # Pipelined consumers begin within a launch-overhead of their plan.
     for t in result.metrics.tasks:
         assert t.data_arrive - t.plan_arrive < 2.0
+
+
+# ----------------------------------------------------------------------
+# Cache Worker replication and failover
+# ----------------------------------------------------------------------
+
+def run_with_cache_loss(replication_factor, machine_id=0, at_fraction=0.5):
+    """A REMOTE-scheme wide shuffle with one Cache Worker killed mid-read."""
+    config = SimConfig()
+    config.shuffle.replication_factor = replication_factor
+
+    def build():
+        return wide_barrier_dag(120, 120, mb_per_task=10.0)  # 14,400 edges
+
+    baseline_rt = SwiftRuntime(Cluster.build(8, 32), swift_policy(),
+                               config=config)
+    baseline = baseline_rt.execute(as_job(build()))
+    assert baseline.completed
+    plan = FailurePlan().add(FailureSpec(
+        kind=FailureKind.CACHE_WORKER_LOSS,
+        machine_id=machine_id, at_fraction=at_fraction,
+    ))
+    runtime = SwiftRuntime(
+        Cluster.build(8, 32), swift_policy(), config=config,
+        failure_plan=plan, reference_duration=baseline.metrics.finish_time,
+    )
+    result = runtime.execute(as_job(build()))
+    return baseline, result, runtime
+
+
+def test_cache_worker_loss_fails_over_to_replica():
+    baseline, result, runtime = run_with_cache_loss(replication_factor=2)
+    assert result.completed
+    assert runtime.shuffle_recovery_log, "the loss never touched live entries"
+    assert {r["action"] for r in runtime.shuffle_recovery_log} == {"failover"}
+    assert all(r["survivors"] >= 1 for r in runtime.shuffle_recovery_log)
+    # Failover serves the share from a replica: no producer re-runs, and no
+    # recovery time added over the failure-free baseline.
+    assert result.metrics.task_reruns == 0
+    assert result.metrics.finish_time == pytest.approx(
+        baseline.metrics.finish_time, rel=0.01
+    )
+
+
+def test_cache_worker_loss_without_replicas_reruns_producers():
+    baseline, result, runtime = run_with_cache_loss(replication_factor=1)
+    assert result.completed
+    assert any(r["action"] == "rerun" for r in runtime.shuffle_recovery_log)
+    assert result.metrics.task_reruns > 0
+    # v1 pays the producer-rerun recovery penalty.
+    assert result.metrics.finish_time > baseline.metrics.finish_time
+
+
+def test_failover_emits_recovery_observability():
+    from repro.obs import RecordingTracer
+
+    config = SimConfig()
+    config.shuffle.replication_factor = 2
+    baseline_rt = SwiftRuntime(Cluster.build(8, 32), swift_policy(),
+                               config=config)
+    baseline = baseline_rt.execute(as_job(wide_barrier_dag(120, 120)))
+    plan = FailurePlan().add(FailureSpec(
+        kind=FailureKind.CACHE_WORKER_LOSS, machine_id=0, at_fraction=0.5,
+    ))
+    runtime = SwiftRuntime(
+        Cluster.build(8, 32), swift_policy(), config=config,
+        failure_plan=plan, reference_duration=baseline.metrics.finish_time,
+        tracer=RecordingTracer(),
+    )
+    result = runtime.execute(as_job(wide_barrier_dag(120, 120)))
+    assert result.completed
+    names = {r.name for r in runtime.tracer.records}
+    assert "shuffle.failover" in names
+    assert "cache.drop_all" in names
+
+
+# ----------------------------------------------------------------------
+# Mode switching is result-preserving (differential test)
+# ----------------------------------------------------------------------
+
+def borderline_diamond() -> JobDAG:
+    """a -> {b, c} -> d with every edge at 12,100 shuffle size: statically
+    REMOTE, within the demotion margin of the 10k Direct threshold."""
+    stages = [
+        make_stage("a", tasks=110, blocking=True, scan_mb=10.0, out_mb=10.0),
+        make_stage("b", tasks=110, blocking=True, out_mb=10.0),
+        make_stage("c", tasks=110, blocking=True, out_mb=10.0),
+        make_stage("d", tasks=110, out_mb=0.0),
+    ]
+    edges = [Edge("a", "b"), Edge("a", "c"), Edge("b", "d"), Edge("c", "d")]
+    return JobDAG("diff", stages, edges)
+
+
+def coverage(result):
+    cov: dict[str, set[int]] = {}
+    for t in result.metrics.tasks:
+        cov.setdefault(t.stage, set()).add(t.index)
+    return cov
+
+
+def differential_run(mode_switching: bool):
+    config = SimConfig()
+    config.shuffle.mode_switching = mode_switching
+    # Hair-trigger pressure threshold so demotions actually fire mid-job.
+    config.shuffle.pressure_demote_utilization = 1e-6
+    runtime = SwiftRuntime(Cluster.build(8, 32), swift_policy(), config=config)
+    result = runtime.execute(as_job(borderline_diamond()))
+    return result, runtime
+
+
+def test_mode_switching_never_changes_results():
+    switched, rt_on = differential_run(mode_switching=True)
+    static, rt_off = differential_run(mode_switching=False)
+    assert switched.completed and static.completed
+    # Adaptivity actually engaged in the switching run ...
+    assert rt_on.mode_controller.switches > 0
+    assert rt_off.mode_controller.switches == 0
+    assert "direct" in switched.metrics.shuffle_schemes.values()
+    # ... yet both runs finalize exactly the same (stage, index) outputs.
+    assert coverage(switched) == coverage(static)

@@ -6,17 +6,20 @@ import pytest
 
 from repro.core.shuffle import (
     ShuffleCostModel,
+    ShuffleModeController,
     ShuffleScheme,
     connection_count,
     memory_copies,
+    plan_partition_merge,
     resolve_scheme,
     select_scheme,
 )
-from repro.sim.config import SimConfig
+from repro.sim.config import ShuffleConfig, SimConfig
 from repro.sim.disk import DiskModel
 from repro.sim.network import NetworkModel
 
 GB = 1e9
+MiB = 1024 ** 2
 
 
 @pytest.fixture
@@ -170,3 +173,150 @@ def test_costs_scale_with_bytes(model):
 def test_unknown_scheme_raises(model):
     with pytest.raises(ValueError):
         model.edge_cost(ShuffleScheme.ADAPTIVE, 1.0, 1, 1, 1)
+
+
+# ----------------------------------------------------------------------
+# ShuffleConfig: configurable thresholds, validation, round trip
+# ----------------------------------------------------------------------
+
+def test_select_scheme_honors_custom_thresholds():
+    """Boundary regression: the `<=` comparisons must hold at exactly the
+    configured thresholds, whatever their values."""
+    config = ShuffleConfig(direct_threshold=100, local_threshold=200)
+    assert select_scheme(99, config) == ShuffleScheme.DIRECT
+    assert select_scheme(100, config) == ShuffleScheme.DIRECT
+    assert select_scheme(101, config) == ShuffleScheme.REMOTE
+    assert select_scheme(200, config) == ShuffleScheme.REMOTE
+    assert select_scheme(201, config) == ShuffleScheme.LOCAL
+
+
+def test_shuffle_config_validation():
+    with pytest.raises(ValueError):
+        ShuffleConfig(direct_threshold=90_000, local_threshold=10_000).validate()
+    with pytest.raises(ValueError):
+        ShuffleConfig(direct_threshold=0).validate()
+    with pytest.raises(ValueError):
+        ShuffleConfig(replication_factor=0).validate()
+    with pytest.raises(ValueError):
+        ShuffleConfig(pressure_demote_utilization=1.5).validate()
+    with pytest.raises(ValueError):
+        ShuffleConfig(setup_promote_latency=0.0).validate()
+    with pytest.raises(ValueError):
+        ShuffleConfig(merge_min_edges=1).validate()
+    with pytest.raises(ValueError):
+        ShuffleConfig(merge_max_bytes=-1.0).validate()
+
+
+def test_shuffle_config_round_trips():
+    config = ShuffleConfig(
+        direct_threshold=5_000, local_threshold=50_000,
+        replication_factor=3, mode_switching=False, switch_margin=0.25,
+    )
+    assert ShuffleConfig.from_dict(config.to_dict()) == config
+
+
+def test_shuffle_config_from_dict_rejects_unknown_and_invalid():
+    with pytest.raises(ValueError):
+        ShuffleConfig.from_dict({"direct_threshold": 10, "bogus": 1})
+    with pytest.raises(ValueError):
+        ShuffleConfig.from_dict({"replication_factor": 0})
+
+
+# ----------------------------------------------------------------------
+# ShuffleModeController: pressure-driven mid-job switching
+# ----------------------------------------------------------------------
+
+def test_mode_controller_demotes_under_cache_pressure(config):
+    controller = ShuffleModeController(config.shuffle)
+    decision = controller.resolve(
+        ShuffleScheme.ADAPTIVE, 12_000, cache_utilization=0.95
+    )
+    assert decision.scheme == ShuffleScheme.DIRECT
+    assert decision.static_scheme == ShuffleScheme.REMOTE
+    assert decision.switched and decision.reason == "cache-pressure"
+    assert controller.switches == 1
+
+
+def test_mode_controller_promotes_under_setup_cost(config):
+    controller = ShuffleModeController(config.shuffle)
+    decision = controller.resolve(
+        ShuffleScheme.ADAPTIVE, 8_000, setup_latency=0.2
+    )
+    assert decision.scheme == ShuffleScheme.REMOTE
+    assert decision.static_scheme == ShuffleScheme.DIRECT
+    assert decision.switched and decision.reason == "setup-cost"
+
+
+def test_mode_controller_only_switches_borderline_edges(config):
+    controller = ShuffleModeController(config.shuffle)
+    # Far above the margin: pressure must not demote a huge LOCAL edge.
+    big = controller.resolve(
+        ShuffleScheme.ADAPTIVE, 500_000, cache_utilization=1.0
+    )
+    assert big.scheme == ShuffleScheme.LOCAL and not big.switched
+    # Far below the margin: setup cost must not promote a tiny edge.
+    small = controller.resolve(
+        ShuffleScheme.ADAPTIVE, 1_000, setup_latency=1.0
+    )
+    assert small.scheme == ShuffleScheme.DIRECT and not small.switched
+    assert controller.switches == 0
+
+
+def test_mode_controller_never_overrides_explicit_schemes(config):
+    controller = ShuffleModeController(config.shuffle)
+    decision = controller.resolve(
+        ShuffleScheme.LOCAL, 12_000, cache_utilization=1.0, setup_latency=1.0
+    )
+    assert decision.scheme == ShuffleScheme.LOCAL and not decision.switched
+
+
+def test_mode_controller_disabled_by_config(config):
+    config.shuffle.mode_switching = False
+    controller = ShuffleModeController(config.shuffle)
+    decision = controller.resolve(
+        ShuffleScheme.ADAPTIVE, 12_000, cache_utilization=1.0
+    )
+    assert decision.scheme == ShuffleScheme.REMOTE and not decision.switched
+
+
+def test_mode_controller_calm_observations_match_static_rule(config):
+    controller = ShuffleModeController(config.shuffle)
+    for size in (0, 5_000, 10_000, 10_001, 90_000, 90_001, 10**6):
+        decision = controller.resolve(ShuffleScheme.ADAPTIVE, size)
+        assert decision.scheme == select_scheme(size, config.shuffle)
+        assert not decision.switched
+
+
+# ----------------------------------------------------------------------
+# Push-based partition merging
+# ----------------------------------------------------------------------
+
+def test_partition_merge_collapses_small_edge_storms(config):
+    candidates = [(f"s{i}->dst", 1.0 * MiB, 8) for i in range(6)]
+    merged, rest = plan_partition_merge(candidates, 16, config.shuffle)
+    assert merged is not None and rest == []
+    assert merged.edges == tuple(f"s{i}->dst" for i in range(6))
+    assert merged.total_bytes == pytest.approx(6 * MiB)
+    assert merged.m == 48 and merged.n == 16
+    assert merged.size == 48 * 16
+
+
+def test_partition_merge_leaves_big_edges_per_edge(config):
+    candidates = [(f"s{i}->dst", 1.0 * MiB, 8) for i in range(4)]
+    candidates.append(("big->dst", 100.0 * MiB, 8))
+    merged, rest = plan_partition_merge(candidates, 16, config.shuffle)
+    assert merged is not None
+    assert "big->dst" not in merged.edges
+    assert rest == ["big->dst"]
+
+
+def test_partition_merge_needs_enough_tiny_edges(config):
+    candidates = [(f"s{i}->dst", 1.0 * MiB, 8) for i in range(3)]
+    merged, rest = plan_partition_merge(candidates, 16, config.shuffle)
+    assert merged is None
+    assert rest == [key for key, _, _ in candidates]
+
+
+def test_partition_merge_rejects_bad_consumer_count(config):
+    with pytest.raises(ValueError):
+        plan_partition_merge([], 0, config.shuffle)
